@@ -1,0 +1,4 @@
+#!/bin/bash
+cd /root/repo
+python -m pytest tests/ 2>&1 | tee /root/repo/test_output.txt | tail -2
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee /root/repo/bench_output.txt | tail -3

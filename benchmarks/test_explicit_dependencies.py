@@ -1,0 +1,53 @@
+"""§7.3.1 / Table 2 — why explicit dependency checking (COPS/Eiger) is
+ruled out under partial geo-replication.
+
+The paper: "their practicability depends on the capability of pruning
+client's list of dependencies after update operations due to the
+transitivity rule of causality.  Under partial geo-replication, this is
+not possible, causing client's list of dependencies to potentially grow up
+to the entire database."
+
+Measured here: with the prune, dependency lists stay tiny (but the prune
+is unsafe under partial replication — see
+tests/baselines/test_explicit.py); without it, lists grow with the length
+of the client session and throughput collapses under the metadata cost.
+"""
+
+from conftest import run_pedantic
+
+from repro.harness.experiments import run_once
+from repro.harness.report import format_table
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def test_dependency_list_growth(benchmark, scale):
+    def experiment():
+        rows = []
+        for system in ("cops", "cops-noprune"):
+            workload = SyntheticWorkload(read_ratio=0.7,
+                                         correlation="degree", degree=2)
+            results = run_once(system, workload, scale,
+                               sites=("NV", "NC", "O", "I", "F", "T", "S"))
+            cluster = results.cluster
+            sizes = [dc.mean_dep_list_size()
+                     for dc in cluster.datacenters.values()]
+            rows.append({
+                "system": system,
+                "mean_deps_per_update": sum(sizes) / len(sizes),
+                "throughput": results.throughput,
+                "mean_visibility_ms": results.visibility.mean(),
+            })
+        return rows
+
+    rows = run_pedantic(benchmark, experiment)
+    print()
+    print(format_table(
+        ["system", "deps/update", "throughput", "visibility ms"],
+        [[r["system"], r["mean_deps_per_update"], r["throughput"],
+          r["mean_visibility_ms"]] for r in rows],
+        title="Explicit dependency checking under partial replication "
+              "(paper: lists grow 'up to the entire database')"))
+    pruned, unpruned = rows
+    assert pruned["mean_deps_per_update"] < 10
+    assert unpruned["mean_deps_per_update"] > 5 * pruned["mean_deps_per_update"]
+    assert unpruned["throughput"] < pruned["throughput"]

@@ -1,0 +1,45 @@
+"""Fig. 7 — remote-update visibility vs the state of the art.
+
+CDFs for Ireland -> Frankfurt (Saturn's best case: no extra tree delay) and
+Ireland -> Sydney (worst case: the label traverses the whole tree).
+
+Paper: Saturn ~+7.3 ms over optimal on average (GentleRain +97.9 ms, Cure
++21.3 ms); I->F 90th percentile within ~7 ms of optimal; I->S adds ~20 ms;
+GentleRain tends to the longest travel time (F-S: 161 ms); Cure close to
+optimal but pays its stabilization delay.
+"""
+
+from conftest import run_pedantic
+
+from repro.harness.experiments import fig7
+from repro.harness.report import format_cdf_summary
+from repro.metrics.stats import mean, percentile
+
+
+def test_fig7_visibility(benchmark, scale):
+    result = run_pedantic(benchmark, fig7, scale)
+    print()
+    for system, series in result["series"].items():
+        for pair in result["pairs"]:
+            print(format_cdf_summary(f"{system} {pair[0]}->{pair[1]}",
+                                     series[pair]))
+        print(f"{system} overall mean: {result['means'][system]:.1f}ms")
+
+    pair_if, pair_is = ("I", "F"), ("I", "S")
+    optimal = result["series"]["eventual"]
+    saturn = result["series"]["saturn"]
+    gentlerain = result["series"]["gentlerain"]
+    cure = result["series"]["cure"]
+
+    # best case: Saturn within a few ms of optimal at the 90th percentile
+    assert (percentile(saturn[pair_if], 90)
+            <= percentile(optimal[pair_if], 90) + 15.0)
+    # worst case: Saturn pays a bounded tree detour, far below GentleRain
+    assert mean(saturn[pair_is]) <= mean(optimal[pair_is]) + 45.0
+    assert mean(gentlerain[pair_if]) >= 120.0  # ~longest travel time
+    # Cure near optimal on the short pair but above eventual
+    assert mean(cure[pair_if]) <= 45.0
+    # overall ordering of average visibility
+    means = result["means"]
+    assert (means["eventual"] <= means["saturn"] < means["cure"] + 60.0)
+    assert means["saturn"] < means["gentlerain"]

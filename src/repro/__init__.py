@@ -1,0 +1,41 @@
+"""Reproduction of *Saturn: a Distributed Metadata Service for Causal
+Consistency* (Bravo, Rodrigues & Van Roy, EuroSys 2017).
+
+The package is organised bottom-up:
+
+* :mod:`repro.sim` — deterministic discrete-event substrate (engine,
+  network, clocks, CPU cost model);
+* :mod:`repro.datacenter` — the paper's per-datacenter decomposition
+  (frontends, gears, label sink, remote proxy, client library);
+* :mod:`repro.core` — Saturn itself: labels, serializer trees, the
+  metadata service, chain replication, online reconfiguration;
+* :mod:`repro.config` — the configuration generator (Definition 1/2
+  objective, per-tree solver, Algorithm 3 search, Table 1 latencies);
+* :mod:`repro.baselines` — GentleRain and Cure;
+* :mod:`repro.workloads` — synthetic and Facebook-style generators;
+* :mod:`repro.harness` — cluster runner and one function per paper figure;
+* :mod:`repro.verify` — offline causal-consistency checker;
+* :mod:`repro.metrics` — visibility/throughput recorders.
+
+Quickstart::
+
+    from repro.harness.runner import Cluster, ClusterConfig
+    from repro.workloads.synthetic import SyntheticWorkload
+
+    cluster = Cluster(ClusterConfig(system="saturn"), SyntheticWorkload())
+    results = cluster.run(duration=1000.0, warmup=200.0)
+    print(results.throughput, results.visibility.mean())
+"""
+
+from repro.core.label import Label, LabelType, label_max
+from repro.core.replication import ReplicationMap
+from repro.core.service import SaturnService
+from repro.core.tree import TreeTopology
+from repro.harness.runner import Cluster, ClusterConfig, RunResults
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Label", "LabelType", "label_max", "ReplicationMap", "SaturnService",
+    "TreeTopology", "Cluster", "ClusterConfig", "RunResults", "__version__",
+]

@@ -1,0 +1,13 @@
+"""State-of-the-art baselines: GentleRain [26] and Cure [3]."""
+
+from repro.baselines.base import BaselinePayload, StabilizedDatacenter
+from repro.baselines.cure import CureDatacenter, cure_merge
+from repro.baselines.explicit import (DepContext, ExplicitDatacenter,
+                                      explicit_merge)
+from repro.baselines.gentlerain import GentleRainDatacenter, gentlerain_merge
+
+__all__ = [
+    "BaselinePayload", "StabilizedDatacenter", "CureDatacenter",
+    "cure_merge", "DepContext", "ExplicitDatacenter", "explicit_merge",
+    "GentleRainDatacenter", "gentlerain_merge",
+]

@@ -1,0 +1,294 @@
+"""Shared scaffolding for the stabilization-based baselines.
+
+GentleRain [26] and Cure [3] follow the same blueprint (§7.3.1): updates are
+tagged with metadata (a scalar / a vector), shipped to replicas, and held in
+a pending set until a background *stabilization* mechanism — run every 5 ms,
+per the authors' specifications — proves them causally safe to reveal.
+
+:class:`StabilizedDatacenter` implements everything common: the partitioned
+store, client request handling, payload buffering, the periodic
+stabilization exchange, and attach blocking.  Subclasses define the metadata
+type (the client *stamp*), the stability predicate, and the CPU costs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.label import Label, LabelType
+from repro.core.replication import ReplicationMap
+from repro.datacenter.datacenter import dc_process_name
+from repro.datacenter.messages import (AttachOk, ClientAttach, ClientMigrate,
+                                       ClientRead, ClientUpdate, MigrateReply,
+                                       ReadReply, StabilizationMsg, UpdateReply)
+from repro.datacenter.storage import PartitionedStore, StoredValue
+from repro.sim.clock import PhysicalClock
+from repro.sim.cpu import CostModel
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+
+__all__ = ["StabilizedDatacenter", "BaselinePayload"]
+
+
+@dataclass(frozen=True)
+class BaselinePayload:
+    """Replicated update for the stabilization-based systems."""
+
+    label: Label            # (ts, src) version id, origin_dc set
+    key: str
+    value_size: int
+    created_at: float
+    stamp: object           # scalar (GentleRain) or vector (Cure) dependency
+
+
+class StabilizedDatacenter(Process):
+    """Common machinery of GentleRain- and Cure-style datacenters."""
+
+    #: stabilization period from the papers (ms)
+    STABILIZATION_PERIOD = 5.0
+
+    def __init__(self, sim: Simulator, name: str, site: str,
+                 replication: ReplicationMap, cost_model: CostModel,
+                 clock: PhysicalClock, num_partitions: int = 2,
+                 metrics=None, execution_log=None) -> None:
+        super().__init__(sim, dc_process_name(name))
+        self.dc_name = name
+        self.site = site
+        self.replication = replication
+        self.cost_model = cost_model
+        self.clock = clock
+        self.metrics = metrics
+        self.execution_log = execution_log
+        self.store = PartitionedStore(sim, num_partitions)
+        #: remote updates not yet causally safe to reveal, per origin; each
+        #: queue is in arrival = timestamp order (origin clocks are
+        #: monotonic and bulk links are FIFO)
+        self._pending: Dict[str, Deque[BaselinePayload]] = {}
+        #: timestamp of the last update dispatched per origin (visibility
+        #: happens in dispatch order, so this bounds the finalized frontier)
+        self._dispatched_ts: Dict[str, float] = {}
+        #: in-order visibility pipeline (apply in parallel, reveal in order)
+        self._pipeline: Deque[List] = deque()
+        #: latest stabilization value received per remote datacenter
+        self._remote_info: Dict[str, object] = {}
+        self._waiters: List[Tuple[object, callable]] = []
+        self._update_seq = 0
+        self.updates_applied = 0
+
+    # ------------------------------------------------------------------
+    # hooks for subclasses
+    # ------------------------------------------------------------------
+
+    def local_stabilization_value(self) -> object:
+        """Value broadcast to peers each stabilization round."""
+        raise NotImplementedError
+
+    def is_stable(self, stamp: object) -> bool:
+        """Whether a dependency stamp is covered by the stable frontier."""
+        raise NotImplementedError
+
+    def make_update_stamp(self, client_stamp: object, ts: float) -> object:
+        """Metadata attached to a new local update."""
+        raise NotImplementedError
+
+    def read_stamp(self, key: str, stored: StoredValue) -> object:
+        """Stamp returned to the client for a read of *stored*."""
+        raise NotImplementedError
+
+    def vector_entries(self) -> int:
+        """Metadata width for the CPU cost model (0 = scalar)."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self.every(self.STABILIZATION_PERIOD, self._stabilization_round)
+
+    def _stabilization_round(self) -> None:
+        value = self.local_stabilization_value()
+        message = StabilizationMsg(origin_dc=self.dc_name, value=value)
+        for dc in self.replication.datacenters:
+            if dc != self.dc_name:
+                self.send(dc_process_name(dc), message)
+        partners = len(self.replication.datacenters) - 1
+        cost = self.cost_model.stabilization_cost(partners, self.vector_entries())
+        for partition in self.store.partitions:
+            partition.cpu.consume(cost)
+        # the local frontier moved: pending updates may have become stable
+        self._drain_pending()
+        self._check_waiters()
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+
+    def receive(self, sender: str, message) -> None:
+        if isinstance(message, ClientRead):
+            self._client_read(sender, message)
+        elif isinstance(message, ClientUpdate):
+            self._client_update(sender, message)
+        elif isinstance(message, ClientAttach):
+            self._client_attach(sender, message)
+        elif isinstance(message, ClientMigrate):
+            # No migration labels in these systems: the client re-attaches
+            # at the target with its current stamp.
+            self.send(sender, MigrateReply(client_id=message.client_id,
+                                           label=None))
+        elif isinstance(message, BaselinePayload):
+            self._on_payload(message)
+        elif isinstance(message, StabilizationMsg):
+            self._remote_info[message.origin_dc] = message.value
+            self._drain_pending()
+            self._check_waiters()
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected message {message!r}")
+
+    # ------------------------------------------------------------------
+    # client operations
+    # ------------------------------------------------------------------
+
+    def _client_read(self, client: str, message: ClientRead) -> None:
+        partition = self.store.partition_for(message.key)
+        stored_now = partition.get(message.key)
+        size = stored_now.value_size if stored_now else 0
+        cost = self.cost_model.read_cost(size, self.vector_entries())
+
+        def _done() -> None:
+            stored = partition.get(message.key)
+            if stored is None:
+                self.send(client, ReadReply(client_id=message.client_id,
+                                            key=message.key, label=None,
+                                            value_size=0))
+            else:
+                self.send(client, ReadReply(
+                    client_id=message.client_id, key=message.key,
+                    label=self.read_stamp(message.key, stored),
+                    value_size=stored.value_size,
+                    version=(stored.label.ts, stored.label.src)))
+
+        partition.cpu.submit(cost, _done)
+
+    def _client_update(self, client: str, message: ClientUpdate) -> None:
+        partition = self.store.partition_for(message.key)
+        cost = self.cost_model.write_cost(message.value_size,
+                                          self.vector_entries())
+
+        def _done() -> None:
+            ts = self.clock.timestamp(at_least=self._stamp_floor(message.label))
+            self._update_seq += 1
+            label = Label(LabelType.UPDATE, src=f"{self.dc_name}/g0", ts=ts,
+                          target=message.key, origin_dc=self.dc_name)
+            stamp = self.make_update_stamp(message.label, ts)
+            self._store_update(message.key, label, message.value_size, stamp)
+            created_at = self.sim.now
+            payload = BaselinePayload(label=label, key=message.key,
+                                      value_size=message.value_size,
+                                      created_at=created_at, stamp=stamp)
+            for replica in sorted(self.replication.replicas(message.key)):
+                if replica != self.dc_name:
+                    self.network.send(self.name, dc_process_name(replica),
+                                      payload, size_bytes=message.value_size)
+            if self.execution_log is not None:
+                self.execution_log.record_update(label, self.dc_name, created_at)
+            self.send(client, UpdateReply(
+                client_id=message.client_id, key=message.key,
+                label=self.read_stamp(message.key,
+                                      StoredValue(label, message.value_size)),
+                version=(label.ts, label.src)))
+
+        partition.cpu.submit(cost, _done)
+
+    def _stamp_floor(self, client_stamp: object) -> Optional[float]:
+        """Scalar the new update's timestamp must exceed."""
+        raise NotImplementedError
+
+    def _store_update(self, key: str, label: Label, value_size: int,
+                      stamp: object) -> None:
+        self.store.put(key, StoredValue(label=label, value_size=value_size))
+
+    def _client_attach(self, client: str, message: ClientAttach) -> None:
+        def _ok() -> None:
+            self.send(client, AttachOk(client_id=message.client_id))
+
+        if message.label is None or self.is_stable(message.label):
+            _ok()
+        else:
+            self._waiters.append((message.label, _ok))
+
+    def _check_waiters(self) -> None:
+        if not self._waiters:
+            return
+        remaining = []
+        for stamp, callback in self._waiters:
+            if self.is_stable(stamp):
+                callback()
+            else:
+                remaining.append((stamp, callback))
+        self._waiters = remaining
+
+    # ------------------------------------------------------------------
+    # remote updates
+    # ------------------------------------------------------------------
+
+    def _on_payload(self, payload: BaselinePayload) -> None:
+        origin = payload.label.origin_dc
+        self._pending.setdefault(origin, deque()).append(payload)
+        self._drain_pending()
+
+    def _payload_visible(self, payload: BaselinePayload) -> bool:
+        """Stability test for a remote update (subclass-specific).
+
+        Dispatch happens smallest-timestamp-first across origin queues and
+        visibility is revealed in dispatch order, so a dependency (which
+        always carries a smaller timestamp in GentleRain, and is covered by
+        the dependency-vector test in Cure) is revealed first."""
+        raise NotImplementedError
+
+    def _drain_pending(self) -> None:
+        while True:
+            candidate: Optional[str] = None
+            candidate_ts = float("inf")
+            for origin, queue in self._pending.items():
+                if not queue:
+                    continue
+                head = queue[0]
+                if head.label.ts < candidate_ts and self._payload_visible(head):
+                    candidate = origin
+                    candidate_ts = head.label.ts
+            if candidate is None:
+                return
+            payload = self._pending[candidate].popleft()
+            self._dispatched_ts[candidate] = payload.label.ts
+            self._dispatch(payload)
+
+    def _dispatch(self, payload: BaselinePayload) -> None:
+        """Start the storage work; reveal in pipeline order on completion."""
+        slot = [payload, False]
+        self._pipeline.append(slot)
+        partition = self.store.partition_for(payload.key)
+        cost = 0.6 * self.cost_model.write_cost(payload.value_size,
+                                                self.vector_entries())
+
+        def _done() -> None:
+            slot[1] = True
+            self._reveal_ready()
+
+        partition.cpu.submit(cost, _done)
+
+    def _reveal_ready(self) -> None:
+        while self._pipeline and self._pipeline[0][1]:
+            payload, _ = self._pipeline.popleft()
+            self._store_update(payload.key, payload.label, payload.value_size,
+                               payload.stamp)
+            self.updates_applied += 1
+            if self.metrics is not None:
+                self.metrics.record_visibility(
+                    payload.label.origin_dc, self.dc_name,
+                    self.sim.now - payload.created_at)
+            if self.execution_log is not None:
+                self.execution_log.record_visible(payload.label, self.dc_name,
+                                                  self.sim.now)

@@ -1,0 +1,72 @@
+"""GentleRain baseline [26].
+
+GentleRain compresses causal metadata into a **single scalar**: every update
+carries its origin physical timestamp ``ut``, and a remote update becomes
+visible once the *Global Stable Time* — the minimum of the latest known
+timestamps of every partition in every datacenter — has passed ``ut``.
+
+Consequence (§7.3.1 of the Saturn paper): the visibility lower bound is the
+latency to the **furthest** datacenter regardless of the update's origin,
+because GST cannot advance past the slowest stabilization stream.  The
+stabilization mechanism runs every 5 ms and its CPU cost is charged to every
+partition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import BaselinePayload, StabilizedDatacenter
+from repro.datacenter.storage import StoredValue
+
+__all__ = ["GentleRainDatacenter", "gentlerain_merge"]
+
+
+def gentlerain_merge(a: Optional[float], b: Optional[float]) -> Optional[float]:
+    """Client stamp merge: maximum observed update timestamp."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)
+
+
+class GentleRainDatacenter(StabilizedDatacenter):
+    """A datacenter running the GentleRain protocol."""
+
+    def gst(self) -> float:
+        """Global Stable Time as currently known at this datacenter."""
+        values = []
+        for dc in self.replication.datacenters:
+            if dc == self.dc_name:
+                continue
+            value = self._remote_info.get(dc)
+            if value is None:
+                return float("-inf")
+            values.append(value)
+        if not values:
+            return float("inf")
+        return min(values)
+
+    # -- hook implementations ------------------------------------------------
+
+    def local_stabilization_value(self) -> float:
+        # timestamp() bumps the monotonic floor: a promise that every future
+        # local update will carry a strictly larger ut (the partition LST).
+        return self.clock.timestamp()
+
+    def is_stable(self, stamp: float) -> bool:
+        return self.gst() >= stamp
+
+    def make_update_stamp(self, client_stamp: Optional[float],
+                          ts: float) -> float:
+        return ts
+
+    def read_stamp(self, key: str, stored: StoredValue) -> float:
+        return stored.label.ts
+
+    def _stamp_floor(self, client_stamp: Optional[float]) -> Optional[float]:
+        return client_stamp
+
+    def _payload_visible(self, payload: BaselinePayload) -> bool:
+        return self.gst() >= payload.label.ts

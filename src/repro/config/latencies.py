@@ -1,0 +1,44 @@
+"""Table 1 of the paper: average one-way latencies (half RTT, ms) measured
+between the seven Amazon EC2 regions used in the evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.sim.network import LatencyModel
+
+__all__ = ["EC2_REGIONS", "EC2_LATENCIES", "ec2_latency_model", "ec2_latency"]
+
+#: N. Virginia, N. California, Oregon, Ireland, Frankfurt, Tokyo, Sydney
+EC2_REGIONS: List[str] = ["NV", "NC", "O", "I", "F", "T", "S"]
+
+#: one-way latency in ms between region pairs (Table 1)
+EC2_LATENCIES: Dict[Tuple[str, str], float] = {
+    ("NV", "NC"): 37.0, ("NV", "O"): 49.0, ("NV", "I"): 41.0,
+    ("NV", "F"): 45.0, ("NV", "T"): 73.0, ("NV", "S"): 115.0,
+    ("NC", "O"): 10.0, ("NC", "I"): 74.0, ("NC", "F"): 84.0,
+    ("NC", "T"): 52.0, ("NC", "S"): 79.0,
+    ("O", "I"): 69.0, ("O", "F"): 79.0, ("O", "T"): 45.0, ("O", "S"): 81.0,
+    ("I", "F"): 10.0, ("I", "T"): 107.0, ("I", "S"): 154.0,
+    ("F", "T"): 118.0, ("F", "S"): 161.0,
+    ("T", "S"): 52.0,
+}
+
+
+def ec2_latency(a: str, b: str) -> float:
+    """One-way latency between two EC2 regions (0 for a == b)."""
+    if a == b:
+        return 0.0
+    if (a, b) in EC2_LATENCIES:
+        return EC2_LATENCIES[(a, b)]
+    if (b, a) in EC2_LATENCIES:
+        return EC2_LATENCIES[(b, a)]
+    raise KeyError(f"unknown region pair ({a}, {b})")
+
+
+def ec2_latency_model(local_latency: float = 0.5) -> LatencyModel:
+    """A :class:`LatencyModel` loaded with Table 1."""
+    model = LatencyModel(local_latency=local_latency)
+    for (a, b), latency in EC2_LATENCIES.items():
+        model.set(a, b, latency)
+    return model

@@ -1,0 +1,274 @@
+"""Per-tree configuration solver (the "constraint solver" of §5.5).
+
+The paper models Definition 2 as a constraint problem solved with OscaR:
+given a tree *shape*, find the optimal serializer locations (from a set of
+candidate sites) and the optimal artificial propagation delays.  We solve
+the same problem in two stages:
+
+1. **Placement** — coordinate descent over internal nodes, trying every
+   candidate site.  Because artificial delays can only *add* latency, the
+   placement objective penalizes overshoot (ΛM > Δ) at full weight and
+   undershoot at a discount (it may later be fixed by delays).
+2. **Delays** — with sites fixed, choosing per-directed-edge delays that
+   minimize Σ c_ij |P_ij + Σ_e δ_e − Δ_ij| is an L1 regression with
+   non-negativity constraints: a small linear program, solved exactly with
+   ``scipy.optimize.linprog`` (an iterative projected-subgradient fallback
+   is used if SciPy is unavailable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.config.objective import weighted_mismatch
+from repro.core.tree import TreeTopology
+
+try:  # pragma: no cover - exercised implicitly
+    from scipy.optimize import linprog
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    _HAVE_SCIPY = False
+
+__all__ = ["TreeShape", "solve_tree", "SolvedTree", "optimize_delays"]
+
+
+@dataclass(frozen=True)
+class TreeShape:
+    """A tree *shape*: internal nodes, internal edges, leaf attachments.
+
+    Sites are not yet assigned — that is the solver's job.
+    """
+
+    internal_nodes: Tuple[str, ...]
+    edges: Tuple[Tuple[str, str], ...]
+    attachments: Tuple[Tuple[str, str], ...]  # (datacenter, internal node)
+
+    def to_topology(self, sites: Dict[str, str],
+                    delays: Optional[Dict[Tuple[str, str], float]] = None) -> TreeTopology:
+        return TreeTopology(
+            serializer_sites={node: sites[node] for node in self.internal_nodes},
+            edges=list(self.edges),
+            attachments=dict(self.attachments),
+            delays=dict(delays or {}),
+        )
+
+
+@dataclass
+class SolvedTree:
+    """Solver output: a fully configured topology and its mismatch score."""
+
+    topology: TreeTopology
+    score: float
+
+
+# ---------------------------------------------------------------------------
+# placement
+# ---------------------------------------------------------------------------
+
+def _placement_cost(shape: TreeShape, sites: Dict[str, str],
+                    dc_sites: Dict[str, str],
+                    latency: Callable[[str, str], float],
+                    weights: Optional[Dict[Tuple[str, str], float]],
+                    bulk_latency: Callable[[str, str], float],
+                    undershoot_discount: float = 0.3) -> float:
+    topology = shape.to_topology(sites)
+    total = 0.0
+    for i in topology.datacenters:
+        for j in topology.datacenters:
+            if i == j:
+                continue
+            weight = 1.0 if weights is None else weights.get((i, j), 0.0)
+            if weight == 0.0:
+                continue
+            achieved = topology.path_latency(i, j, latency, dc_sites)
+            optimal = bulk_latency(dc_sites[i], dc_sites[j])
+            gap = achieved - optimal
+            total += weight * (gap if gap > 0 else -gap * undershoot_discount)
+    return total
+
+
+def _optimize_placement(shape: TreeShape, dc_sites: Dict[str, str],
+                        candidate_sites: Sequence[str],
+                        latency: Callable[[str, str], float],
+                        weights: Optional[Dict[Tuple[str, str], float]],
+                        bulk_latency: Callable[[str, str], float],
+                        max_rounds: int = 4) -> Dict[str, str]:
+    # initialize each internal node at the site of one of its attached
+    # datacenters (or the first candidate)
+    attached: Dict[str, List[str]] = {}
+    for dc, node in shape.attachments:
+        attached.setdefault(node, []).append(dc)
+    sites = {}
+    for node in shape.internal_nodes:
+        if node in attached:
+            sites[node] = dc_sites[sorted(attached[node])[0]]
+        else:
+            sites[node] = candidate_sites[0]
+    best_cost = _placement_cost(shape, sites, dc_sites, latency, weights,
+                                bulk_latency)
+    for _ in range(max_rounds):
+        improved = False
+        for node in shape.internal_nodes:
+            current = sites[node]
+            for candidate in candidate_sites:
+                if candidate == current:
+                    continue
+                sites[node] = candidate
+                cost = _placement_cost(shape, sites, dc_sites, latency,
+                                       weights, bulk_latency)
+                if cost < best_cost - 1e-9:
+                    best_cost = cost
+                    current = candidate
+                    improved = True
+                else:
+                    sites[node] = current
+        if not improved:
+            break
+    return sites
+
+
+# ---------------------------------------------------------------------------
+# delays
+# ---------------------------------------------------------------------------
+
+def _optimize_delays(topology: TreeTopology, dc_sites: Dict[str, str],
+                     latency: Callable[[str, str], float],
+                     weights: Optional[Dict[Tuple[str, str], float]],
+                     bulk_latency: Callable[[str, str], float]) -> Dict[Tuple[str, str], float]:
+    """Exact L1-optimal non-negative per-directed-edge delays."""
+    directed_edges: List[Tuple[str, str]] = []
+    for a, b in topology.edges:
+        directed_edges.append((a, b))
+        directed_edges.append((b, a))
+    if not directed_edges:
+        return {}
+    edge_index = {edge: k for k, edge in enumerate(directed_edges)}
+
+    pairs: List[Tuple[float, float, List[int]]] = []  # (weight, gap, edges)
+    datacenters = topology.datacenters
+    for i in datacenters:
+        for j in datacenters:
+            if i == j:
+                continue
+            weight = 1.0 if weights is None else weights.get((i, j), 0.0)
+            if weight == 0.0:
+                continue
+            base = topology.path_latency(i, j, latency, dc_sites)
+            optimal = bulk_latency(dc_sites[i], dc_sites[j])
+            path = topology.serializer_path(i, j)
+            edges = [edge_index[(a, b)] for a, b in zip(path, path[1:])]
+            # gap to make up with delays (negative = undershoot)
+            pairs.append((weight, optimal - base, edges))
+
+    if _HAVE_SCIPY:
+        return _solve_delays_lp(directed_edges, pairs)
+    return _solve_delays_greedy(directed_edges, pairs)
+
+
+def _solve_delays_lp(directed_edges: List[Tuple[str, str]],
+                     pairs: List[Tuple[float, float, List[int]]]) -> Dict[Tuple[str, str], float]:
+    num_edges = len(directed_edges)
+    num_pairs = len(pairs)
+    if num_pairs == 0:
+        return {}
+    # variables: [delta_0..delta_E-1, u_0..u_P-1]
+    num_vars = num_edges + num_pairs
+    c = [0.0] * num_edges + [weight for weight, _, _ in pairs]
+    a_ub: List[List[float]] = []
+    b_ub: List[float] = []
+    for p, (_, gap, edges) in enumerate(pairs):
+        # u_p >= sum(delta_e) - gap   ->   sum(delta) - u_p <= gap
+        row = [0.0] * num_vars
+        for e in edges:
+            row[e] = 1.0
+        row[num_edges + p] = -1.0
+        a_ub.append(row)
+        b_ub.append(gap)
+        # u_p >= gap - sum(delta_e)   ->  -sum(delta) - u_p <= -gap
+        row = [0.0] * num_vars
+        for e in edges:
+            row[e] = -1.0
+        row[num_edges + p] = -1.0
+        a_ub.append(row)
+        b_ub.append(-gap)
+    result = linprog(c, A_ub=a_ub, b_ub=b_ub,
+                     bounds=[(0, None)] * num_vars, method="highs")
+    if not result.success:  # pragma: no cover - LP is always feasible
+        return _solve_delays_greedy(directed_edges, pairs)
+    delays = {}
+    for k, edge in enumerate(directed_edges):
+        value = float(result.x[k])
+        if value > 1e-6:
+            delays[edge] = value
+    return delays
+
+
+def _solve_delays_greedy(directed_edges: List[Tuple[str, str]],
+                         pairs: List[Tuple[float, float, List[int]]],
+                         iterations: int = 200) -> Dict[Tuple[str, str], float]:
+    """Projected coordinate descent fallback (no SciPy)."""
+    delta = [0.0] * len(directed_edges)
+
+    def cost() -> float:
+        total = 0.0
+        for weight, gap, edges in pairs:
+            total += weight * abs(sum(delta[e] for e in edges) - gap)
+        return total
+
+    best = cost()
+    step = max((abs(gap) for _, gap, _ in pairs), default=0.0) / 2 or 1.0
+    while step > 0.05:
+        improved = False
+        for e in range(len(delta)):
+            for direction in (step, -step):
+                candidate = delta[e] + direction
+                if candidate < 0:
+                    continue
+                old = delta[e]
+                delta[e] = candidate
+                new_cost = cost()
+                if new_cost < best - 1e-9:
+                    best = new_cost
+                    improved = True
+                else:
+                    delta[e] = old
+        if not improved:
+            step /= 2
+    return {edge: delta[k] for k, edge in enumerate(directed_edges)
+            if delta[k] > 1e-6}
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+def solve_tree(shape: TreeShape, dc_sites: Dict[str, str],
+               candidate_sites: Sequence[str],
+               latency: Callable[[str, str], float],
+               weights: Optional[Dict[Tuple[str, str], float]] = None,
+               bulk_latency: Optional[Callable[[str, str], float]] = None) -> SolvedTree:
+    """Optimal placement + delays for one tree shape; returns the scored
+    configuration (Definition 2 objective)."""
+    if bulk_latency is None:
+        bulk_latency = latency
+    sites = _optimize_placement(shape, dc_sites, candidate_sites, latency,
+                                weights, bulk_latency)
+    topology = shape.to_topology(sites)
+    delays = _optimize_delays(topology, dc_sites, latency, weights,
+                              bulk_latency)
+    topology = topology.with_delays(delays)
+    score = weighted_mismatch(topology, dc_sites, latency, weights,
+                              bulk_latency)
+    return SolvedTree(topology=topology, score=score)
+
+
+def optimize_delays(topology: TreeTopology, dc_sites: Dict[str, str],
+                    latency: Callable[[str, str], float],
+                    weights: Optional[Dict[Tuple[str, str], float]] = None,
+                    bulk_latency: Optional[Callable[[str, str], float]] = None,
+                    ) -> Dict[Tuple[str, str], float]:
+    """Public entry point: optimal artificial delays for a fixed topology."""
+    if bulk_latency is None:
+        bulk_latency = latency
+    return _optimize_delays(topology, dc_sites, latency, weights, bulk_latency)

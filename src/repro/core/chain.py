@@ -1,0 +1,163 @@
+"""Chain replication of a serializer group (§6.1).
+
+The paper makes each serializer resilient by replicating it with chain
+replication [51] under a fail-stop fault model.  The main simulation models
+a chain's latency inside :class:`~repro.core.serializer.Serializer` (one
+local hop per extra replica); this module implements the actual protocol as
+a standalone, independently tested component:
+
+* a :class:`ChainGroup` of replica processes connected head -> ... -> tail;
+* items enter at the head, flow down the chain, and are **delivered** (to a
+  client-supplied callback) only by the tail, preserving FIFO order;
+* every replica buffers items it has forwarded until the tail's
+  acknowledgement flows back up;
+* on a fail-stop crash the group reconfigures: the failed replica is cut
+  out and its predecessor re-forwards everything unacknowledged, so no item
+  is lost or reordered (duplicates are suppressed by sequence number).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.process import Process
+
+__all__ = ["ChainGroup", "ChainReplica"]
+
+
+@dataclass(frozen=True)
+class _Forward:
+    seq: int
+    item: Any
+
+
+@dataclass(frozen=True)
+class _Ack:
+    seq: int
+
+
+class ChainReplica(Process):
+    """One replica in a chain-replicated serializer group."""
+
+    def __init__(self, sim: Simulator, name: str, group: "ChainGroup") -> None:
+        super().__init__(sim, name)
+        self.group = group
+        self.successor: Optional[str] = None
+        self.predecessor: Optional[str] = None
+        #: forwarded but not yet acknowledged, in sequence order
+        self.unacked: Dict[int, Any] = {}
+        self.last_seen_seq = 0
+        self.last_acked_seq = 0
+
+    def submit(self, seq: int, item: Any) -> None:
+        """Accept an item (head entry point or re-forwarded)."""
+        if not self.alive:
+            return
+        if seq <= self.last_seen_seq:
+            return  # duplicate after reconfiguration
+        self.last_seen_seq = seq
+        self.unacked[seq] = item
+        self._pass_on(seq, item)
+
+    def _pass_on(self, seq: int, item: Any) -> None:
+        if self.successor is not None:
+            self.send(self.successor, _Forward(seq, item))
+        else:
+            # tail: deliver and start the ack wave
+            self.group.delivered(seq, item)
+            self._acknowledge(seq)
+
+    def _acknowledge(self, seq: int) -> None:
+        self.last_acked_seq = max(self.last_acked_seq, seq)
+        self.unacked.pop(seq, None)
+        if self.predecessor is not None:
+            self.send(self.predecessor, _Ack(seq))
+
+    def receive(self, sender: str, message: Any) -> None:
+        if isinstance(message, _Forward):
+            self.submit(message.seq, message.item)
+        elif isinstance(message, _Ack):
+            self._acknowledge(message.seq)
+
+    def resend_unacked(self) -> None:
+        """After reconfiguration: re-forward everything not acknowledged."""
+        for seq in sorted(self.unacked):
+            self._pass_on(seq, self.unacked[seq])
+
+
+class ChainGroup:
+    """A chain-replicated serializer: submit at the head, deliver at the
+    tail, survive fail-stop replica crashes."""
+
+    def __init__(self, sim: Simulator, network: Network, name: str,
+                 replicas: int, deliver: Callable[[Any], None],
+                 site: Optional[str] = None) -> None:
+        if replicas < 1:
+            raise ValueError("a chain needs at least one replica")
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self._deliver = deliver
+        self._next_seq = 0
+        self._delivered_seqs: set = set()
+        self.replicas: List[ChainReplica] = []
+        for index in range(replicas):
+            replica = ChainReplica(sim, f"{name}:r{index}", self)
+            replica.attach_network(network)
+            if site is not None:
+                network.place(replica.name, site)
+            self.replicas.append(replica)
+        self._rewire()
+
+    # ------------------------------------------------------------------
+
+    def _alive(self) -> List[ChainReplica]:
+        return [replica for replica in self.replicas if replica.alive]
+
+    def _rewire(self) -> None:
+        alive = self._alive()
+        for i, replica in enumerate(alive):
+            replica.predecessor = alive[i - 1].name if i > 0 else None
+            replica.successor = alive[i + 1].name if i < len(alive) - 1 else None
+
+    @property
+    def head(self) -> ChainReplica:
+        alive = self._alive()
+        if not alive:
+            raise RuntimeError(f"chain {self.name} has no live replicas")
+        return alive[0]
+
+    @property
+    def tail(self) -> ChainReplica:
+        alive = self._alive()
+        if not alive:
+            raise RuntimeError(f"chain {self.name} has no live replicas")
+        return alive[-1]
+
+    def submit(self, item: Any) -> int:
+        """Enter an item at the head; returns its sequence number."""
+        self._next_seq += 1
+        self.head.submit(self._next_seq, item)
+        return self._next_seq
+
+    def delivered(self, seq: int, item: Any) -> None:
+        if seq in self._delivered_seqs:
+            return  # duplicate delivery after a crash-retransmit
+        self._delivered_seqs.add(seq)
+        self._deliver(item)
+
+    # ------------------------------------------------------------------
+
+    def crash_replica(self, index: int) -> None:
+        """Fail-stop one replica; the chain reconfigures and the failed
+        node's neighbours retransmit anything unacknowledged."""
+        self.replicas[index].crash()
+        self._rewire()
+        for replica in self._alive():
+            replica.resend_unacked()
+
+    def alive_count(self) -> int:
+        return len(self._alive())

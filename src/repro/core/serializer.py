@@ -1,0 +1,151 @@
+"""Saturn serializers (§5.3).
+
+A serializer is a node of the metadata tree.  It receives label batches from
+attached datacenters (their label sinks) or neighbouring serializers over
+FIFO channels and forwards every label, *in arrival order*, towards every
+other direction of the tree that contains an interested datacenter.  Because
+channels are FIFO and forwarding preserves arrival order, each datacenter
+receives a serialization of labels consistent with causality (the
+lowest-common-ancestor argument in the paper's footnote 1).
+
+Genuine partial replication falls out of the routing test: a label travels
+down an edge only if the subtree behind that edge contains a datacenter in
+the label's interest set.
+
+Artificial propagation delays (δij, §5.4) are applied per directed edge
+before handing a batch to the network; since the delay of an edge is
+constant and the scheduler breaks ties FIFO, order is preserved.
+
+Fault model: serializers are fail-stop and, in the real system, each one is
+a chain-replicated group (§6.1).  Here a serializer models its chain with
+``chain_length`` (co-located replicas add one local hop of latency each) and
+exposes :meth:`crash_replica` / :meth:`fail` for fault injection; a real
+message-passing chain lives in :mod:`repro.core.chain` and is validated
+independently.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional
+
+from repro.core.label import Label, LabelType
+from repro.core.replication import ReplicationMap
+from repro.core.tree import TreeTopology
+from repro.datacenter.messages import LabelBatch, Ping, Pong
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+
+__all__ = ["Serializer", "interest_of"]
+
+
+def interest_of(label: Label, replication: ReplicationMap) -> FrozenSet[str]:
+    """Datacenters that must receive *label* (origin excluded).
+
+    * update labels -> replicas of the updated item;
+    * migration labels -> the target datacenter;
+    * heartbeat / epoch-change labels -> every datacenter (they carry no
+      item information, so genuine partial replication is preserved).
+    """
+    if label.type is LabelType.UPDATE:
+        interested = replication.replicas(label.target or "")
+    elif label.type is LabelType.MIGRATION:
+        interested = frozenset({label.target}) if label.target else frozenset()
+    else:
+        interested = frozenset(replication.datacenters)
+    return interested - {label.origin_dc}
+
+
+class Serializer(Process):
+    """One node of the serializer tree.
+
+    ``delivery_name(dc)`` maps a datacenter name to the process that should
+    receive its label batches (the datacenter process).
+    """
+
+    def __init__(self, sim: Simulator, name: str, tree_name: str,
+                 topology: TreeTopology, replication: ReplicationMap,
+                 delivery_name: Callable[[str], str],
+                 peer_process_name: Callable[[str], str],
+                 epoch: int = 0,
+                 chain_length: int = 1,
+                 local_hop_latency: float = 0.3) -> None:
+        super().__init__(sim, name)
+        self.tree_name = tree_name
+        self.topology = topology
+        self.replication = replication
+        self.delivery_name = delivery_name
+        self.peer_process_name = peer_process_name
+        self.epoch = epoch
+        self.chain_length = max(1, chain_length)
+        self.local_hop_latency = local_hop_latency
+        self._alive_replicas = self.chain_length
+        self.labels_forwarded = 0
+        self.labels_delivered = 0
+
+    # -- fault injection ---------------------------------------------------
+
+    @property
+    def chain_latency(self) -> float:
+        """Extra latency added by passing through the replica chain."""
+        return (self._alive_replicas - 1) * self.local_hop_latency
+
+    def crash_replica(self) -> None:
+        """Fail-stop one chain replica; the chain shortens (chain repl.)."""
+        if self._alive_replicas > 1:
+            self._alive_replicas -= 1
+        else:
+            self.fail()
+
+    def fail(self) -> None:
+        """The whole serializer group is gone: drop everything."""
+        self.crash()
+
+    # -- label handling ------------------------------------------------------
+
+    def receive(self, sender: str, message) -> None:
+        if isinstance(message, Ping):
+            self.send(message.origin, Pong(seq=message.seq))
+            return
+        if not isinstance(message, LabelBatch):
+            return
+        came_from = self._neighbor_of(sender)
+        self._route_batch(message, came_from, sender)
+
+    def _neighbor_of(self, sender_process: str) -> Optional[str]:
+        """Map the sending process back to a tree neighbor, if any."""
+        for neighbor in self.topology.neighbors(self.tree_name):
+            if self.peer_process_name(neighbor) == sender_process:
+                return neighbor
+        return None
+
+    def _route_batch(self, batch: LabelBatch, came_from: Optional[str],
+                     sender_process: str) -> None:
+        # Partition the batch per outgoing direction, preserving order.
+        per_neighbor: Dict[str, List[Label]] = {}
+        per_dc: Dict[str, List[Label]] = {}
+        for label in batch.labels:
+            interested = interest_of(label, self.replication)
+            for neighbor in self.topology.neighbors(self.tree_name):
+                if neighbor == came_from:
+                    continue
+                if interested & self.topology.reachable_dcs(self.tree_name, neighbor):
+                    per_neighbor.setdefault(neighbor, []).append(label)
+            for dc in self.topology.attached_datacenters(self.tree_name):
+                if dc in interested and self.delivery_name(dc) != sender_process:
+                    per_dc.setdefault(dc, []).append(label)
+        for neighbor, labels in per_neighbor.items():
+            self._forward(self.peer_process_name(neighbor),
+                          LabelBatch(tuple(labels), epoch=batch.epoch),
+                          extra_delay=self.topology.delay(self.tree_name, neighbor))
+            self.labels_forwarded += len(labels)
+        for dc, labels in per_dc.items():
+            self._forward(self.delivery_name(dc),
+                          LabelBatch(tuple(labels), epoch=batch.epoch))
+            self.labels_delivered += len(labels)
+
+    def _forward(self, to: str, batch: LabelBatch, extra_delay: float = 0.0) -> None:
+        delay = extra_delay + self.chain_latency
+        if delay > 0:
+            self.set_timer(delay, lambda: self.send(to, batch))
+        else:
+            self.send(to, batch)

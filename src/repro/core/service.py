@@ -1,0 +1,110 @@
+"""Saturn metadata-service assembly.
+
+A :class:`SaturnService` owns one or more serializer trees (one per epoch —
+epochs exist so the tree can be swapped online, §6.2), instantiates the
+serializer processes at their geographic sites, and tells each datacenter's
+label sink which serializer to stream into.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.replication import ReplicationMap
+from repro.core.serializer import Serializer
+from repro.core.tree import TreeTopology
+from repro.datacenter.datacenter import dc_process_name
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+__all__ = ["SaturnService"]
+
+
+class SaturnService:
+    """The distributed metadata service: trees of serializers by epoch."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 replication: ReplicationMap, chain_length: int = 1,
+                 local_hop_latency: float = 0.3) -> None:
+        self.sim = sim
+        self.network = network
+        self.replication = replication
+        self.chain_length = chain_length
+        self.local_hop_latency = local_hop_latency
+        self._trees: Dict[int, Tuple[TreeTopology, Dict[str, Serializer]]] = {}
+        self.current_epoch = 0
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def serializer_process_name(epoch: int, tree_name: str) -> str:
+        return f"ser:e{epoch}:{tree_name}"
+
+    def install_tree(self, topology: TreeTopology, epoch: int = 0) -> None:
+        """Create the serializer processes of *topology* for *epoch*."""
+        if epoch in self._trees:
+            raise ValueError(f"epoch {epoch} already installed")
+
+        def peer_name(tree_name: str, _epoch: int = epoch) -> str:
+            return self.serializer_process_name(_epoch, tree_name)
+
+        processes: Dict[str, Serializer] = {}
+        for tree_name, site in topology.serializer_sites.items():
+            proc = Serializer(
+                self.sim,
+                name=self.serializer_process_name(epoch, tree_name),
+                tree_name=tree_name,
+                topology=topology,
+                replication=self.replication,
+                delivery_name=dc_process_name,
+                peer_process_name=peer_name,
+                epoch=epoch,
+                chain_length=self.chain_length,
+                local_hop_latency=self.local_hop_latency,
+            )
+            proc.attach_network(self.network)
+            self.network.place(proc.name, site)
+            processes[tree_name] = proc
+        self._trees[epoch] = (topology, processes)
+
+    def next_epoch(self) -> int:
+        return max(self._trees) + 1 if self._trees else 0
+
+    # ------------------------------------------------------------------
+
+    def topology(self, epoch: Optional[int] = None) -> TreeTopology:
+        epoch = self.current_epoch if epoch is None else epoch
+        return self._trees[epoch][0]
+
+    def serializers(self, epoch: Optional[int] = None) -> Dict[str, Serializer]:
+        epoch = self.current_epoch if epoch is None else epoch
+        return dict(self._trees[epoch][1])
+
+    def ingress_process(self, dc_name: str, epoch: int) -> Optional[str]:
+        """Process the datacenter's label sink should stream into."""
+        entry = self._trees.get(epoch)
+        if entry is None:
+            return None
+        topology, _ = entry
+        serializer = topology.attachments.get(dc_name)
+        if serializer is None:
+            return None
+        return self.serializer_process_name(epoch, serializer)
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+
+    def fail_serializer(self, tree_name: str, epoch: Optional[int] = None) -> None:
+        epoch = self.current_epoch if epoch is None else epoch
+        self._trees[epoch][1][tree_name].fail()
+
+    def crash_replica(self, tree_name: str, epoch: Optional[int] = None) -> None:
+        epoch = self.current_epoch if epoch is None else epoch
+        self._trees[epoch][1][tree_name].crash_replica()
+
+    def fail_tree(self, epoch: Optional[int] = None) -> None:
+        """Total outage of one tree (all serializer groups down)."""
+        epoch = self.current_epoch if epoch is None else epoch
+        for serializer in self._trees[epoch][1].values():
+            serializer.fail()

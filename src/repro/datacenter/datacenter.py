@@ -1,0 +1,253 @@
+"""Datacenter assembly: the abstract decomposition of §4 wired together.
+
+One :class:`SaturnDatacenter` is a single simulated process containing the
+paper's per-datacenter components — stateless frontend logic, one gear per
+storage partition, the label sink, and the remote proxy.  Inter-datacenter
+traffic (bulk payloads, heartbeats) and Saturn label batches are real
+network messages.
+
+``consistency`` selects the system variant:
+
+* ``"saturn"``  — labels stream through the Saturn serializer tree; remote
+  updates apply in Saturn order (the paper's full system);
+* ``"timestamp"`` — the P-configuration: no tree, remote updates apply in
+  conservative timestamp order using bulk-channel stability;
+* ``"eventual"`` — the baseline: remote updates apply on payload arrival
+  with no ordering (throughput upper-bound / latency lower-bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.core.label import Label, LabelType
+from repro.core.replication import ReplicationMap
+from repro.datacenter.frontend import Frontend
+from repro.datacenter.gear import Gear
+from repro.datacenter.label_sink import LabelSink
+from repro.datacenter.messages import (BulkHeartbeat, ClientAttach,
+                                       ClientMigrate, ClientRead, ClientUpdate,
+                                       LabelBatch, Ping, Pong, RemotePayload)
+from repro.datacenter.remote_proxy import RemoteProxy
+from repro.datacenter.storage import PartitionedStore
+from repro.sim.clock import PhysicalClock
+from repro.sim.cpu import CostModel
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.service import SaturnService
+
+__all__ = ["DatacenterParams", "SaturnDatacenter", "dc_process_name"]
+
+
+def dc_process_name(dc_name: str) -> str:
+    """Network process name of a datacenter."""
+    return f"dc:{dc_name}"
+
+
+@dataclass
+class DatacenterParams:
+    """Static configuration of one datacenter."""
+
+    name: str
+    site: str
+    num_partitions: int = 2
+    consistency: str = "saturn"  # "saturn" | "timestamp" | "eventual"
+    sink_batch_period: float = 1.0
+    sink_heartbeat_period: float = 10.0
+    bulk_heartbeat_period: float = 5.0
+    parallel_concurrent_apply: bool = True
+    remote_apply_factor: float = 0.6
+    #: Saturn outage detection: ping the ingress serializer (0 disables)
+    ping_period: float = 0.0
+    ping_miss_threshold: int = 3
+    #: a ping counts as missed only after this long without a pong; must
+    #: exceed the worst round trip to the ingress serializer
+    ping_timeout: float = 400.0
+
+    def __post_init__(self) -> None:
+        if self.consistency not in ("saturn", "timestamp", "eventual"):
+            raise ValueError(f"unknown consistency {self.consistency!r}")
+
+
+class SaturnDatacenter(Process):
+    """A geo-replicated datacenter with Saturn hooks."""
+
+    def __init__(self, sim: Simulator, params: DatacenterParams,
+                 replication: ReplicationMap, cost_model: CostModel,
+                 clock: PhysicalClock, metrics=None, execution_log=None) -> None:
+        super().__init__(sim, dc_process_name(params.name))
+        self.params = params
+        self.dc_name = params.name
+        self.site = params.site
+        self.consistency = params.consistency
+        self.replication = replication
+        self.cost_model = cost_model
+        self.clock = clock
+        self.metrics = metrics
+        self.execution_log = execution_log
+
+        self.store = PartitionedStore(sim, params.num_partitions)
+        self.gears: List[Gear] = [Gear(self, p) for p in self.store.partitions]
+        self.frontend = Frontend(self)
+        self.proxy = RemoteProxy(
+            self, mode=self._proxy_mode(),
+            parallel_concurrent=params.parallel_concurrent_apply)
+        self.sink = LabelSink(self, batch_period=params.sink_batch_period,
+                              heartbeat_period=params.sink_heartbeat_period)
+
+        #: wired by the harness: the Saturn metadata service (tree mode only)
+        self.saturn: Optional["SaturnService"] = None
+        self.sink_epoch = 0
+        self.saturn_down = False
+        self._ping_seq = 0
+        self._outstanding_pings: Dict[int, float] = {}
+
+    def _proxy_mode(self) -> str:
+        return {"saturn": "saturn", "timestamp": "timestamp",
+                "eventual": "eventual"}[self.consistency]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start periodic machinery; call after network wiring."""
+        if self.consistency == "saturn":
+            self.sink.start()
+        if self.params.bulk_heartbeat_period > 0 and self.consistency != "eventual":
+            self.every(self.params.bulk_heartbeat_period, self._bulk_heartbeat)
+        if (self.params.ping_period > 0 and self.consistency == "saturn"
+                and self.saturn is not None):
+            self.every(self.params.ping_period, self._ping_saturn)
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+
+    def receive(self, sender: str, message) -> None:
+        if isinstance(message, ClientRead):
+            self.frontend.read(sender, message.key)
+        elif isinstance(message, ClientUpdate):
+            self.frontend.update(sender, message.key, message.value_size,
+                                 message.label)
+        elif isinstance(message, ClientAttach):
+            self.frontend.attach(sender, message.label)
+        elif isinstance(message, ClientMigrate):
+            self.frontend.migrate(sender, message.target_dc, message.label)
+        elif isinstance(message, RemotePayload):
+            self.proxy.on_payload(message)
+        elif isinstance(message, BulkHeartbeat):
+            self.proxy.on_heartbeat(message)
+        elif isinstance(message, LabelBatch):
+            self.proxy.on_labels(message)
+        elif isinstance(message, Pong):
+            self._outstanding_pings.pop(message.seq, None)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected message {message!r}")
+
+    def reply(self, client: str, message) -> None:
+        self.send(client, message)
+
+    # ------------------------------------------------------------------
+    # cost helpers
+    # ------------------------------------------------------------------
+
+    def read_cost(self, value_size: int) -> float:
+        if self.consistency == "eventual":
+            return self.cost_model.read_base + self.cost_model.per_byte * value_size
+        return self.cost_model.read_cost(value_size)
+
+    def write_cost(self, value_size: int) -> float:
+        if self.consistency == "eventual":
+            return self.cost_model.write_base + self.cost_model.per_byte * value_size
+        return self.cost_model.write_cost(value_size)
+
+    def remote_apply_cost(self, value_size: int) -> float:
+        return self.params.remote_apply_factor * self.write_cost(value_size)
+
+    def cpu_for_sink(self, num_labels: int) -> None:
+        """Label-sink batching consumes CPU on the first partition server."""
+        self.store.partitions[0].cpu.consume(
+            self.cost_model.label_sink_per_label * num_labels)
+
+    # ------------------------------------------------------------------
+    # outbound traffic
+    # ------------------------------------------------------------------
+
+    def send_bulk(self, dc_name: str, payload: RemotePayload,
+                  size_bytes: int = 0) -> None:
+        if self.network is None:
+            return
+        self.network.send(self.name, dc_process_name(dc_name), payload,
+                          size_bytes=size_bytes)
+
+    def _bulk_heartbeat(self) -> None:
+        ts = self.clock.timestamp()
+        heartbeat = BulkHeartbeat(origin_dc=self.dc_name, ts=ts)
+        for dc in self.replication.datacenters:
+            if dc != self.dc_name:
+                self.send(dc_process_name(dc), heartbeat)
+
+    def send_to_saturn(self, labels: Sequence[Label]) -> None:
+        if self.consistency != "saturn" or self.saturn is None:
+            return
+        ingress = self.saturn.ingress_process(self.dc_name, self.sink_epoch)
+        if ingress is None:
+            return
+        self.send(ingress, LabelBatch(tuple(labels), epoch=self.sink_epoch))
+
+    # ------------------------------------------------------------------
+    # reconfiguration (§6.2)
+    # ------------------------------------------------------------------
+
+    def switch_tree(self, new_epoch: int, emergency: bool = False) -> None:
+        """Move this datacenter's label stream from C1 to the C2 tree."""
+        if not emergency:
+            ts = self.clock.timestamp()
+            label = Label(LabelType.EPOCH_CHANGE, src=f"{self.dc_name}/sink",
+                          ts=ts, target=str(new_epoch), origin_dc=self.dc_name)
+            self.sink.add(label)
+            self.sink.flush()
+        self.sink_epoch = new_epoch
+        self.proxy.begin_transition(new_epoch, emergency=emergency)
+
+    # ------------------------------------------------------------------
+    # outage detection
+    # ------------------------------------------------------------------
+
+    def _ping_saturn(self) -> None:
+        if self.saturn_down or self.saturn is None:
+            return
+        deadline = self.sim.now - self.params.ping_timeout
+        missed = sum(1 for sent_at in self._outstanding_pings.values()
+                     if sent_at <= deadline)
+        if missed >= self.params.ping_miss_threshold:
+            self.saturn_down = True
+            self.proxy.enter_fallback()
+            return
+        ingress = self.saturn.ingress_process(self.dc_name, self.sink_epoch)
+        if ingress is None:
+            return
+        self._ping_seq += 1
+        self._outstanding_pings[self._ping_seq] = self.sim.now
+        self.send(ingress, Ping(seq=self._ping_seq, origin=self.name))
+
+    # ------------------------------------------------------------------
+    # observation hooks
+    # ------------------------------------------------------------------
+
+    def on_local_update(self, label: Label, created_at: float) -> None:
+        if self.execution_log is not None:
+            self.execution_log.record_update(label, self.dc_name, created_at)
+
+    def on_remote_visible(self, payload: RemotePayload) -> None:
+        if self.metrics is not None:
+            self.metrics.record_visibility(
+                payload.label.origin_dc, self.dc_name,
+                self.sim.now - payload.created_at)
+        if self.execution_log is not None:
+            self.execution_log.record_visible(payload.label, self.dc_name,
+                                              self.sim.now)

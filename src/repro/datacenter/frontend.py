@@ -1,0 +1,100 @@
+"""Stateless frontends (§4, Alg. 1).
+
+Frontends shield clients from the datacenter internals: they enforce the
+attach condition (the client's causal past must be visible locally before it
+may operate), forward reads/updates to the responsible storage server, and
+forward migration requests to any gear.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.label import Label, LabelType
+from repro.datacenter.messages import (AttachOk, MigrateReply, ReadReply,
+                                       UpdateReply)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.datacenter.datacenter import SaturnDatacenter
+
+__all__ = ["Frontend"]
+
+
+class Frontend:
+    """Client request handling for one datacenter."""
+
+    def __init__(self, dc: "SaturnDatacenter") -> None:
+        self.dc = dc
+        self._migrate_rr = 0
+
+    # -- attach (Alg. 1, ATTACH) -------------------------------------------
+
+    def attach(self, client: str, label: Optional[Label]) -> None:
+        dc = self.dc
+
+        def _ok() -> None:
+            dc.reply(client, AttachOk(client_id=client))
+
+        if label is None or label.origin_dc == dc.dc_name:
+            _ok()
+            return
+        if dc.consistency == "eventual":
+            _ok()
+            return
+        if label.type is LabelType.MIGRATION:
+            dc.proxy.wait_for(lambda: dc.proxy.migration_processed(label), _ok)
+        else:
+            dc.proxy.wait_for(lambda: dc.proxy.update_stable(label), _ok)
+
+    # -- read (Alg. 1, READ) --------------------------------------------------
+
+    def read(self, client: str, key: str) -> None:
+        dc = self.dc
+        partition = dc.store.partition_for(key)
+        gear = dc.gears[partition.index]
+
+        def _done() -> None:
+            stored = gear.read(key)
+            if stored is None:
+                dc.reply(client, ReadReply(client_id=client, key=key,
+                                           label=None, value_size=0))
+            else:
+                dc.reply(client, ReadReply(
+                    client_id=client, key=key, label=stored.label,
+                    value_size=stored.value_size,
+                    version=(stored.label.ts, stored.label.src)))
+
+        size = 0
+        stored_now = partition.get(key)
+        if stored_now is not None:
+            size = stored_now.value_size
+        partition.cpu.submit(dc.read_cost(size), _done)
+
+    # -- update (Alg. 1, UPDATE) ------------------------------------------------
+
+    def update(self, client: str, key: str, value_size: int,
+               client_label: Optional[Label]) -> None:
+        dc = self.dc
+        partition = dc.store.partition_for(key)
+        gear = dc.gears[partition.index]
+
+        def _done() -> None:
+            label = gear.update(key, value_size, client_label)
+            dc.reply(client, UpdateReply(client_id=client, key=key, label=label,
+                                         version=(label.ts, label.src)))
+
+        partition.cpu.submit(dc.write_cost(value_size), _done)
+
+    # -- migrate (Alg. 1, MIGRATE) ------------------------------------------------
+
+    def migrate(self, client: str, target_dc: str,
+                client_label: Optional[Label]) -> None:
+        dc = self.dc
+        gear = dc.gears[self._migrate_rr % len(dc.gears)]
+        self._migrate_rr += 1
+
+        def _done() -> None:
+            label = gear.migration(target_dc, client_label)
+            dc.reply(client, MigrateReply(client_id=client, label=label))
+
+        gear.partition.cpu.submit(dc.cost_model.attach_check, _done)

@@ -1,0 +1,143 @@
+"""Wire messages exchanged between clients, datacenters, and Saturn.
+
+These are small frozen dataclasses: the simulator passes them by reference,
+and ``payload_size`` fields let the network account for bytes without
+materializing actual values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.label import Label
+
+__all__ = [
+    "ClientAttach", "ClientRead", "ClientUpdate", "ClientMigrate",
+    "AttachOk", "ReadReply", "UpdateReply", "MigrateReply",
+    "RemotePayload", "BulkHeartbeat", "LabelBatch", "StabilizationMsg",
+]
+
+
+# -- client -> datacenter ----------------------------------------------------
+
+@dataclass(frozen=True)
+class ClientAttach:
+    client_id: str
+    label: Optional[Label]
+
+
+@dataclass(frozen=True)
+class ClientRead:
+    client_id: str
+    key: str
+
+
+@dataclass(frozen=True)
+class ClientUpdate:
+    client_id: str
+    key: str
+    value_size: int
+    label: Optional[Label]
+
+
+@dataclass(frozen=True)
+class ClientMigrate:
+    client_id: str
+    target_dc: str
+    label: Optional[Label]
+
+
+# -- datacenter -> client ----------------------------------------------------
+
+@dataclass(frozen=True)
+class AttachOk:
+    client_id: str
+
+
+@dataclass(frozen=True)
+class ReadReply:
+    client_id: str
+    key: str
+    label: Optional[Label]
+    value_size: int
+    #: (ts, src) identity of the returned version (for the offline checker)
+    version: Optional[Tuple[float, str]] = None
+
+
+@dataclass(frozen=True)
+class UpdateReply:
+    client_id: str
+    key: str
+    label: Label
+    #: (ts, src) identity of the written version (for the offline checker)
+    version: Optional[Tuple[float, str]] = None
+
+
+@dataclass(frozen=True)
+class MigrateReply:
+    client_id: str
+    label: Label
+
+
+# -- datacenter <-> datacenter (bulk-data transfer) ---------------------------
+
+@dataclass(frozen=True)
+class RemotePayload:
+    """An update's payload shipped by the bulk-data transfer service.
+
+    The label is piggybacked (the paper relies on this for the
+    timestamp-order fallback) together with the true creation time used for
+    visibility-latency measurement.
+    """
+
+    label: Label
+    key: str
+    value_size: int
+    created_at: float
+
+
+@dataclass(frozen=True)
+class BulkHeartbeat:
+    """Periodic per-origin timestamp announcement on the bulk channel.
+
+    Drives timestamp-order stability (fallback mode, P-configuration, and
+    the conservative attach path for remote update labels)."""
+
+    origin_dc: str
+    ts: float
+
+
+# -- datacenter <-> Saturn ----------------------------------------------------
+
+@dataclass(frozen=True)
+class LabelBatch:
+    """A causally ordered batch of labels travelling through Saturn."""
+
+    labels: Tuple[Label, ...]
+    #: id of the tree configuration that carried the batch (epoch changes)
+    epoch: int = 0
+
+
+# -- stabilization (GentleRain / Cure baselines) -------------------------------
+
+@dataclass(frozen=True)
+class StabilizationMsg:
+    """Periodic metadata exchange between stabilization managers."""
+
+    origin_dc: str
+    #: scalar LST for GentleRain, tuple vector for Cure
+    value: object = None
+
+
+# -- liveness probes (Saturn outage detection) ---------------------------------
+
+@dataclass(frozen=True)
+class Ping:
+    seq: int
+    origin: str
+
+
+@dataclass(frozen=True)
+class Pong:
+    seq: int

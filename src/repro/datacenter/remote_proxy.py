@@ -1,0 +1,467 @@
+"""Remote proxy (§4.3): applies remote operations locally in causal order.
+
+The proxy combines the two serialization sources the paper describes:
+
+* the per-datacenter label serialization provided by **Saturn** (the tree),
+  which is the fast path;
+* the **timestamp total order** of labels piggybacked on bulk payloads,
+  which is the conservative fallback used by the P-configuration, during
+  Saturn outages, and during the failure-path reconfiguration (§6.2).
+
+Application is *pipelined*: the proxy dispatches remote operations to the
+local storage servers as soon as their turn in the serialization comes and
+their payload has arrived (*data readiness*), without waiting for earlier
+operations to finish executing — the paper's §4.3 optimization of issuing
+multiple remote operations in parallel to the local datacenter.  What is
+strictly ordered is the *visibility point*: an update only becomes visible
+(installed in the store, counted in watermarks, reported to metrics) once
+every operation before it in the serialization is visible.  Setting
+``parallel_concurrent=False`` shrinks the dispatch window to one, which
+serializes execution completely (used as an ablation).
+
+Timestamp mode buffers payloads in a min-heap and applies an update once it
+is *stable*: every other datacenter has announced (payload or bulk
+heartbeat) a timestamp at least as large, so nothing earlier can still
+arrive on any FIFO bulk channel.
+
+The proxy also maintains per-origin applied watermarks and the set of
+processed migration labels, which back the frontend's attach conditions
+(Alg. 1), and implements both epoch-change protocols of §6.2.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.core.label import Label, LabelType
+from repro.datacenter.messages import BulkHeartbeat, LabelBatch, RemotePayload
+from repro.datacenter.storage import StoredValue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.datacenter.datacenter import SaturnDatacenter
+
+__all__ = ["RemoteProxy"]
+
+LabelKey = Tuple[float, str]
+
+#: maximum remote operations dispatched to storage servers at once
+DISPATCH_WINDOW = 64
+
+#: how many applications between prunes of the dedup set
+APPLIED_PRUNE_INTERVAL = 4096
+
+
+def _key(label: Label) -> LabelKey:
+    return (label.ts, label.src)
+
+
+class _Slot:
+    """One position in the in-order visibility pipeline."""
+
+    __slots__ = ("label", "payload", "done")
+
+    def __init__(self, label: Label, payload: Optional[RemotePayload],
+                 done: bool) -> None:
+        self.label = label
+        self.payload = payload
+        self.done = done
+
+
+class RemoteProxy:
+    """Per-datacenter application of remote updates in causal order."""
+
+    def __init__(self, dc: "SaturnDatacenter", mode: str = "saturn",
+                 parallel_concurrent: bool = True) -> None:
+        if mode not in ("saturn", "timestamp", "eventual"):
+            raise ValueError(f"unknown proxy mode {mode!r}")
+        self.dc = dc
+        self.mode = mode
+        self.parallel_concurrent = parallel_concurrent
+        self.window = DISPATCH_WINDOW if parallel_concurrent else 1
+        self.current_epoch = 0
+
+        # Saturn-order machinery
+        self._queue: Deque[Label] = deque()
+        self._dispatch: Deque[_Slot] = deque()
+        self._epoch_buffers: Dict[int, List[Label]] = {}
+        self._pending_payloads: Dict[LabelKey, RemotePayload] = {}
+
+        # timestamp-order machinery
+        self._ts_heap: List[Tuple[float, str, RemotePayload]] = []
+        self._ts_dispatch: Deque[_Slot] = deque()
+        self._ts_watermark = float("-inf")
+
+        # shared state
+        self._applied: Set[LabelKey] = set()
+        self.applied_ts: Dict[str, float] = {}
+        self.seen_bulk_ts: Dict[str, float] = {}
+        self._migrations_done: Set[LabelKey] = set()
+        self._waiters: List[Tuple[Callable[[], bool], Callable[[], None]]] = []
+
+        # epoch-change state
+        self._epoch_marks: Dict[int, Set[str]] = {}
+        self._transition_target: Optional[int] = None
+        self._transition_started_at: Optional[float] = None
+        self._emergency = False
+        self.reconfiguration_times: List[float] = []
+
+        # statistics
+        self.labels_processed = 0
+        self.updates_applied = 0
+        self._prune_countdown = APPLIED_PRUNE_INTERVAL
+
+    # ------------------------------------------------------------------
+    # event entry points (called by the datacenter process)
+    # ------------------------------------------------------------------
+
+    def on_labels(self, batch: LabelBatch) -> None:
+        """A label batch delivered by Saturn."""
+        if self.mode == "eventual":
+            return
+        if batch.epoch != self.current_epoch:
+            if batch.epoch > self.current_epoch:
+                self._epoch_buffers.setdefault(batch.epoch, []).extend(batch.labels)
+                self._maybe_finish_emergency()
+            return
+        self._queue.extend(batch.labels)
+        self._pump_saturn()
+
+    def on_payload(self, payload: RemotePayload) -> None:
+        """An update payload delivered by the bulk-data transfer service."""
+        origin = payload.label.origin_dc
+        self.seen_bulk_ts[origin] = max(
+            self.seen_bulk_ts.get(origin, float("-inf")), payload.label.ts)
+        if self.mode == "eventual":
+            self._apply_now(payload)
+        elif self._in_timestamp_mode():
+            heapq.heappush(self._ts_heap,
+                           (payload.label.ts, payload.label.src, payload))
+            self._pump_timestamp()
+        else:
+            self._pending_payloads[_key(payload.label)] = payload
+            self._pump_saturn()
+
+    def on_heartbeat(self, heartbeat: BulkHeartbeat) -> None:
+        """A bulk-channel heartbeat advancing an origin's stability cut."""
+        self.seen_bulk_ts[heartbeat.origin_dc] = max(
+            self.seen_bulk_ts.get(heartbeat.origin_dc, float("-inf")),
+            heartbeat.ts)
+        if self._in_timestamp_mode():
+            self._pump_timestamp()
+
+    # ------------------------------------------------------------------
+    # attach conditions (used by the frontend, Alg. 1)
+    # ------------------------------------------------------------------
+
+    def migration_processed(self, label: Label) -> bool:
+        if _key(label) in self._migrations_done:
+            return True
+        # fallback: timestamp stability also proves the causal past is in
+        if self._in_timestamp_mode():
+            return self._ts_watermark >= label.ts
+        return False
+
+    def update_stable(self, label: Label) -> bool:
+        """Every remote datacenter has applied something >= label.ts."""
+        if self._in_timestamp_mode():
+            return self._ts_watermark >= label.ts
+        for dc in self.dc.replication.datacenters:
+            if dc == self.dc.dc_name:
+                continue
+            if self.applied_ts.get(dc, float("-inf")) < label.ts:
+                return False
+        return True
+
+    def wait_for(self, predicate: Callable[[], bool],
+                 callback: Callable[[], None]) -> None:
+        """Run *callback* once *predicate* holds (checked on state changes)."""
+        if predicate():
+            callback()
+        else:
+            self._waiters.append((predicate, callback))
+
+    def _check_waiters(self) -> None:
+        if not self._waiters:
+            return
+        still_waiting = []
+        for predicate, callback in self._waiters:
+            if predicate():
+                callback()
+            else:
+                still_waiting.append((predicate, callback))
+        self._waiters = still_waiting
+
+    # ------------------------------------------------------------------
+    # Saturn-order application
+    # ------------------------------------------------------------------
+
+    def _in_timestamp_mode(self) -> bool:
+        return self.mode == "timestamp" or self._emergency
+
+    def _pump_saturn(self) -> None:
+        """Dispatch ready labels into the pipeline, then drain it."""
+        if self._in_timestamp_mode():
+            return
+        while self._queue and len(self._dispatch) < self.window:
+            label = self._queue[0]
+            key = _key(label)
+            if label.type is LabelType.UPDATE and key not in self._applied:
+                payload = self._pending_payloads.get(key)
+                if payload is None:
+                    break  # data readiness: wait for the bulk transfer
+                self._queue.popleft()
+                del self._pending_payloads[key]
+                slot = _Slot(label, payload, done=False)
+                self._dispatch.append(slot)
+                self._start_apply(slot)
+            else:
+                # heartbeat / migration / epoch-change / duplicate update:
+                # no storage work, completes as soon as its turn comes
+                self._queue.popleft()
+                self._pending_payloads.pop(key, None)
+                self._dispatch.append(_Slot(label, None, done=True))
+        self._drain_saturn()
+
+    def _start_apply(self, slot: _Slot) -> None:
+        payload = slot.payload
+        cost = self.dc.remote_apply_cost(payload.value_size)
+        partition = self.dc.store.partition_for(payload.key)
+
+        def _done() -> None:
+            slot.done = True
+            self._pump_saturn()
+
+        partition.cpu.submit(cost, _done)
+
+    def _drain_saturn(self) -> None:
+        """Finalize (make visible) the completed prefix of the pipeline."""
+        progressed = False
+        while self._dispatch and self._dispatch[0].done:
+            slot = self._dispatch.popleft()
+            self._finalize(slot)
+            progressed = True
+        if progressed:
+            self._check_waiters()
+            self._maybe_finish_transition()
+
+    def _finalize(self, slot: _Slot) -> None:
+        label = slot.label
+        key = _key(label)
+        self.labels_processed += 1
+        if label.type is LabelType.UPDATE:
+            if slot.payload is not None:
+                self._applied.add(key)
+                self.dc.store.put(slot.payload.key,
+                                  StoredValue(label=label,
+                                              value_size=slot.payload.value_size))
+                self.updates_applied += 1
+                self.dc.on_remote_visible(slot.payload)
+        elif label.type is LabelType.MIGRATION:
+            self._migrations_done.add(key)
+        elif label.type is LabelType.EPOCH_CHANGE:
+            self._record_epoch_mark(label)
+            return  # epoch marks do not advance origin watermarks
+        self._advance_watermark(label)
+
+    def _advance_watermark(self, label: Label) -> None:
+        origin = label.origin_dc
+        if label.ts > self.applied_ts.get(origin, float("-inf")):
+            self.applied_ts[origin] = label.ts
+        self._prune_countdown -= 1
+        if self._prune_countdown <= 0:
+            self._prune_countdown = APPLIED_PRUNE_INTERVAL
+            self._prune_applied()
+
+    def _prune_applied(self) -> None:
+        """Drop dedup entries below every origin's applied watermark: both
+        serialization sources only revisit labels above it, so the set
+        stays bounded on long runs."""
+        if not self.applied_ts:
+            return
+        floor = min(self.applied_ts.get(dc, float("-inf"))
+                    for dc in self.dc.replication.datacenters
+                    if dc != self.dc.dc_name)
+        if floor == float("-inf"):
+            return
+        self._applied = {key for key in self._applied if key[0] >= floor}
+        self._migrations_done = {key for key in self._migrations_done
+                                 if key[0] >= floor}
+
+    # ------------------------------------------------------------------
+    # timestamp-order application (P-configuration / fallback)
+    # ------------------------------------------------------------------
+
+    def _stability_cut(self) -> float:
+        """Largest ts below which no datacenter can still send anything."""
+        cut = float("inf")
+        for dc in self.dc.replication.datacenters:
+            if dc == self.dc.dc_name:
+                continue
+            cut = min(cut, self.seen_bulk_ts.get(dc, float("-inf")))
+        return cut
+
+    def _pump_timestamp(self) -> None:
+        cut = self._stability_cut()
+        while (self._ts_heap and self._ts_heap[0][0] <= cut
+               and len(self._ts_dispatch) < self.window):
+            ts, src, payload = heapq.heappop(self._ts_heap)
+            if (ts, src) in self._applied:
+                continue
+            slot = _Slot(payload.label, payload, done=False)
+            self._ts_dispatch.append(slot)
+            self._start_ts_apply(slot)
+        self._drain_timestamp(cut)
+
+    def _start_ts_apply(self, slot: _Slot) -> None:
+        payload = slot.payload
+        cost = self.dc.remote_apply_cost(payload.value_size)
+        partition = self.dc.store.partition_for(payload.key)
+
+        def _done() -> None:
+            slot.done = True
+            self._pump_timestamp()
+
+        partition.cpu.submit(cost, _done)
+
+    def _drain_timestamp(self, cut: float) -> None:
+        progressed = False
+        while self._ts_dispatch and self._ts_dispatch[0].done:
+            slot = self._ts_dispatch.popleft()
+            payload = slot.payload
+            self._applied.add(_key(slot.label))
+            self.dc.store.put(payload.key,
+                              StoredValue(label=slot.label,
+                                          value_size=payload.value_size))
+            self._advance_watermark(slot.label)
+            self.updates_applied += 1
+            self.dc.on_remote_visible(payload)
+            progressed = True
+        # the stability watermark advances once everything below the cut
+        # has been applied
+        if (not self._ts_dispatch
+                and (not self._ts_heap or self._ts_heap[0][0] > cut)):
+            self._advance_ts_watermark(cut)
+        if progressed:
+            self._check_waiters()
+            self._maybe_finish_emergency()
+
+    def _advance_ts_watermark(self, cut: float) -> None:
+        if cut == float("inf") or cut <= self._ts_watermark:
+            return
+        self._ts_watermark = cut
+        for dc in self.dc.replication.datacenters:
+            if dc != self.dc.dc_name:
+                if cut > self.applied_ts.get(dc, float("-inf")):
+                    self.applied_ts[dc] = cut
+        self._check_waiters()
+        self._maybe_finish_emergency()
+
+    # ------------------------------------------------------------------
+    # fault handling: Saturn outage -> timestamp fallback
+    # ------------------------------------------------------------------
+
+    def enter_fallback(self) -> None:
+        """Saturn outage detected: apply by timestamp order from now on."""
+        if self._in_timestamp_mode():
+            return
+        self._emergency = True
+        self._queue.clear()
+        # operations already dispatched will complete; their slots are
+        # drained here so nothing is lost
+        for slot in self._dispatch:
+            if slot.payload is not None and not slot.done:
+                # let the in-flight apply finish through the ts path
+                heapq.heappush(self._ts_heap, (slot.label.ts, slot.label.src,
+                                               slot.payload))
+        self._dispatch.clear()
+        for key, payload in sorted(self._pending_payloads.items()):
+            heapq.heappush(self._ts_heap, (key[0], key[1], payload))
+        self._pending_payloads.clear()
+        self._pump_timestamp()
+
+    # ------------------------------------------------------------------
+    # epoch-change reconfiguration (§6.2)
+    # ------------------------------------------------------------------
+
+    def begin_transition(self, new_epoch: int, emergency: bool = False) -> None:
+        """The local datacenter switched its sink to the C2 tree."""
+        self._transition_target = new_epoch
+        self._transition_started_at = self.dc.sim.now
+        if emergency:
+            self.enter_fallback()
+        self._maybe_finish_transition()
+        self._maybe_finish_emergency()
+
+    def _record_epoch_mark(self, label: Label) -> None:
+        epoch = int(label.target or 0)
+        self._epoch_marks.setdefault(epoch, set()).add(label.origin_dc)
+        self._maybe_finish_transition()
+
+    def _maybe_finish_transition(self) -> None:
+        """Fast-path switch: every datacenter's epoch-change label was
+        processed through C1 and all C1 labels have been applied."""
+        if self._transition_target is None or self._emergency:
+            return
+        target = self._transition_target
+        marks = self._epoch_marks.get(target, set())
+        others = set(self.dc.replication.datacenters) - {self.dc.dc_name}
+        if not others <= marks:
+            return
+        if self._dispatch or self._queue:
+            return
+        self._adopt_epoch(target)
+
+    def _maybe_finish_emergency(self) -> None:
+        """Failure-path switch: start applying C2 labels once the update of
+        the first C2 label is stable in timestamp order."""
+        if self._transition_target is None or not self._emergency:
+            return
+        buffered = self._epoch_buffers.get(self._transition_target)
+        if not buffered:
+            return
+        first = buffered[0]
+        if self._ts_watermark < first.ts:
+            return
+        if self._ts_dispatch:
+            return
+        self._emergency = False
+        self._adopt_epoch(self._transition_target)
+
+    def _adopt_epoch(self, epoch: int) -> None:
+        self.current_epoch = epoch
+        self._transition_target = None
+        buffered = self._epoch_buffers.pop(epoch, [])
+        self._queue.extend(buffered)
+        # payloads that were parked for timestamp-order application but
+        # never became stable move back to the Saturn path, otherwise the
+        # new tree's labels would head-of-line block on them forever
+        while self._ts_heap:
+            ts, src, payload = heapq.heappop(self._ts_heap)
+            if (ts, src) not in self._applied:
+                self._pending_payloads[(ts, src)] = payload
+        if self._transition_started_at is not None:
+            self.reconfiguration_times.append(
+                self.dc.sim.now - self._transition_started_at)
+            self._transition_started_at = None
+        self._pump_saturn()
+
+    # ------------------------------------------------------------------
+    # eventual mode
+    # ------------------------------------------------------------------
+
+    def _apply_now(self, payload: RemotePayload) -> None:
+        cost = self.dc.remote_apply_cost(payload.value_size)
+        partition = self.dc.store.partition_for(payload.key)
+
+        def _done() -> None:
+            self.dc.store.put(
+                payload.key,
+                StoredValue(label=payload.label, value_size=payload.value_size))
+            self._advance_watermark(payload.label)
+            self.updates_applied += 1
+            self.dc.on_remote_visible(payload)
+            self._check_waiters()
+
+        partition.cpu.submit(cost, _done)

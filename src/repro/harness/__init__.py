@@ -1,0 +1,6 @@
+"""Experiment harness: cluster runner, per-figure experiments, reports."""
+
+from repro.harness.runner import (Cluster, ClusterConfig, MetricsHub,
+                                  RunResults, SYSTEMS)
+
+__all__ = ["Cluster", "ClusterConfig", "MetricsHub", "RunResults", "SYSTEMS"]

@@ -1,0 +1,174 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Installed as the ``saturn-repro`` console script::
+
+    saturn-repro list                      # available experiments/systems
+    saturn-repro run fig4                  # regenerate a figure
+    saturn-repro run fig5 --scale smoke --json out.json
+    saturn-repro bench --system saturn     # one ad-hoc cluster run
+    saturn-repro configure                 # print the M-configuration
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, Optional
+
+from repro.config.latencies import EC2_REGIONS, ec2_latency
+from repro.harness import experiments
+from repro.harness.report import format_cdf_summary, format_table
+from repro.harness.runner import SYSTEMS
+from repro.metrics.stats import mean
+
+__all__ = ["main", "build_parser", "EXPERIMENTS"]
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig1a": experiments.fig1a,
+    "fig1b": experiments.fig1b,
+    "fig4": experiments.fig4,
+    "fig5": experiments.fig5,
+    "fig6": experiments.fig6,
+    "fig7": experiments.fig7,
+    "fig8": experiments.fig8,
+    "reconfiguration": experiments.reconfiguration,
+    "ablation-sink-batching": experiments.ablation_sink_batching,
+    "ablation-artificial-delays": experiments.ablation_artificial_delays,
+    "ablation-parallel-apply": experiments.ablation_parallel_apply,
+    "ablation-genuine-partial": experiments.ablation_genuine_partial,
+}
+
+_SCALES = {"smoke": experiments.SMOKE, "default": experiments.DEFAULT}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="saturn-repro",
+        description="Reproduction of Saturn (EuroSys 2017): run the "
+                    "paper's experiments on the simulated testbed.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and systems")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--scale", choices=sorted(_SCALES), default="default")
+    run.add_argument("--json", metavar="PATH",
+                     help="also dump the raw result dict as JSON")
+
+    bench = sub.add_parser("bench", help="one ad-hoc cluster run")
+    bench.add_argument("--system", choices=SYSTEMS, default="saturn")
+    bench.add_argument("--duration", type=float, default=1000.0,
+                       help="simulated milliseconds (default 1000)")
+    bench.add_argument("--clients", type=int, default=8,
+                       help="clients per datacenter")
+    bench.add_argument("--read-ratio", type=float, default=0.9)
+    bench.add_argument("--value-size", type=int, default=2)
+    bench.add_argument("--correlation", default="exponential")
+    bench.add_argument("--remote-reads", type=float, default=0.0)
+    bench.add_argument("--seed", type=int, default=1)
+
+    conf = sub.add_parser("configure",
+                          help="run Algorithm 3 over the EC2 regions")
+    conf.add_argument("--beam-width", type=int, default=8)
+
+    return parser
+
+
+def _summarize(name: str, result: Dict) -> str:
+    lines = [f"== {name} =="]
+    if "rows" in result:
+        rows = result["rows"]
+        if rows:
+            headers = list(rows[0].keys())
+            lines.append(format_table(
+                headers, [[row.get(h, "") for h in headers] for row in rows]))
+    if "series" in result:
+        for series_name, series in result["series"].items():
+            for pair in result.get("pairs", []):
+                samples = series.get(pair, [])
+                lines.append(format_cdf_summary(
+                    f"{series_name} {pair[0]}->{pair[1]}", samples))
+    for key in ("means", "max_ms", "completed", "optimal_mean_overall"):
+        if key in result:
+            lines.append(f"{key}: {result[key]}")
+    return "\n".join(lines)
+
+
+def _jsonable(value):
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print("experiments:")
+        for name, func in sorted(EXPERIMENTS.items()):
+            doc = (func.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:28s} {doc}")
+        print("systems:", ", ".join(SYSTEMS))
+        return 0
+
+    if args.command == "run":
+        scale = _SCALES[args.scale]
+        result = EXPERIMENTS[args.experiment](scale)
+        print(_summarize(args.experiment, result))
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(_jsonable(result), handle, indent=2)
+            print(f"raw results written to {args.json}")
+        return 0
+
+    if args.command == "bench":
+        from repro.harness.runner import Cluster, ClusterConfig
+        from repro.workloads.synthetic import SyntheticWorkload
+        workload_kwargs = dict(read_ratio=args.read_ratio,
+                               value_size=args.value_size,
+                               correlation=args.correlation,
+                               remote_read_fraction=args.remote_reads)
+        if args.correlation == "degree":
+            workload_kwargs["degree"] = 2
+        workload = SyntheticWorkload(**workload_kwargs)
+        config = ClusterConfig(system=args.system,
+                               clients_per_dc=args.clients, seed=args.seed)
+        if args.system == "saturn":
+            config.saturn_topology = experiments.m_configuration()
+        cluster = Cluster(config, workload)
+        results = cluster.run(duration=args.duration,
+                              warmup=min(200.0, args.duration / 4))
+        print(f"system:           {args.system}")
+        print(f"throughput:       {results.throughput:.0f} ops/s")
+        print(f"ops completed:    {results.ops_completed}")
+        if results.visibility.count():
+            print(f"visibility mean:  {results.visibility.mean():.1f} ms")
+            print(f"visibility p90:   {results.visibility.percentile(90):.1f} ms")
+        return 0
+
+    if args.command == "configure":
+        from repro.config.placement import find_configuration, fuse_topology
+        dc_sites = {r: r for r in EC2_REGIONS}
+        solved = find_configuration(EC2_REGIONS, dc_sites, ec2_latency,
+                                    beam_width=args.beam_width)
+        topology = fuse_topology(solved.topology)
+        print(f"score: {solved.score:.1f} weighted-ms")
+        for serializer, site in sorted(topology.serializer_sites.items()):
+            attached = sorted(dc for dc, s in topology.attachments.items()
+                              if s == serializer)
+            print(f"  {serializer} @ {site} <- {attached}")
+        print(f"  edges: {topology.edges}")
+        print(f"  delays: {topology.delays or '(none needed)'}")
+        return 0
+
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Formatting helpers: print experiment results the way the paper reports
+them (tables of rows / CDF series), plus paper-vs-measured summaries."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["format_table", "format_cdf_summary", "PaperComparison"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.1f}"
+        return str(cell)
+
+    text_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_cdf_summary(name: str, samples: Sequence[float],
+                       percentiles: Sequence[float] = (50, 90, 99)) -> str:
+    """One-line CDF summary (the paper plots full CDFs; we report the
+    quantiles that the text discusses)."""
+    from repro.metrics.stats import mean, percentile
+    if not samples:
+        return f"{name}: (no samples)"
+    parts = [f"mean={mean(samples):.1f}ms"]
+    for p in percentiles:
+        parts.append(f"p{int(p)}={percentile(samples, p):.1f}ms")
+    return f"{name}: " + "  ".join(parts) + f"  (n={len(samples)})"
+
+
+class PaperComparison:
+    """Collects paper-reported vs measured values for EXPERIMENTS.md."""
+
+    def __init__(self, experiment: str) -> None:
+        self.experiment = experiment
+        self.rows: List[Tuple[str, str, str, str]] = []
+
+    def add(self, metric: str, paper: str, measured: object,
+            verdict: str = "") -> None:
+        if isinstance(measured, float):
+            measured = f"{measured:.1f}"
+        self.rows.append((metric, paper, str(measured), verdict))
+
+    def __str__(self) -> str:
+        return format_table(
+            ["metric", "paper", "measured", "verdict"], self.rows,
+            title=f"[{self.experiment}] paper vs measured")

@@ -1,0 +1,7 @@
+"""Measurement: visibility latency, throughput, statistics."""
+
+from repro.metrics.stats import cdf_points, mean, percentile
+from repro.metrics.throughput import OpRecorder
+from repro.metrics.visibility import VisibilityRecorder
+
+__all__ = ["cdf_points", "mean", "percentile", "OpRecorder", "VisibilityRecorder"]

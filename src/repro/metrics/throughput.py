@@ -1,0 +1,51 @@
+"""Client operation recorder: throughput and operation latency."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.metrics.stats import mean, percentile
+
+__all__ = ["OpRecorder"]
+
+
+class OpRecorder:
+    """Records completed client operations with completion timestamps."""
+
+    def __init__(self) -> None:
+        self._completions: List[Tuple[float, str, float]] = []
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def record_op(self, kind: str, latency: float, at: float) -> None:
+        self._completions.append((at, kind, latency))
+        self._counts[kind] += 1
+
+    # -- queries ---------------------------------------------------------
+
+    def total_ops(self) -> int:
+        return len(self._completions)
+
+    def counts(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def ops_in_window(self, start: float, end: float) -> int:
+        return sum(1 for at, _, _ in self._completions if start <= at < end)
+
+    def throughput(self, start: float, end: float) -> float:
+        """Completed operations per (simulated) second in [start, end)."""
+        if end <= start:
+            raise ValueError("window end must be after start")
+        window_ms = end - start
+        return self.ops_in_window(start, end) / (window_ms / 1000.0)
+
+    def latencies(self, kind: str = None, start: float = 0.0) -> List[float]:
+        return [lat for at, k, lat in self._completions
+                if at >= start and (kind is None or k == kind)]
+
+    def mean_latency(self, kind: str = None, start: float = 0.0) -> float:
+        return mean(self.latencies(kind, start))
+
+    def latency_percentile(self, p: float, kind: str = None,
+                           start: float = 0.0) -> float:
+        return percentile(self.latencies(kind, start), p)

@@ -1,0 +1,23 @@
+"""Discrete-event simulation substrate (engine, network, clocks, CPU)."""
+
+from repro.sim.clock import ClockFactory, PhysicalClock
+from repro.sim.cpu import CostModel, ServerCPU
+from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.network import LatencyModel, Network
+from repro.sim.process import Process, RepeatingTimer
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "ClockFactory",
+    "PhysicalClock",
+    "CostModel",
+    "ServerCPU",
+    "Event",
+    "SimulationError",
+    "Simulator",
+    "LatencyModel",
+    "Network",
+    "Process",
+    "RepeatingTimer",
+    "RngRegistry",
+]

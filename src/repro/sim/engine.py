@@ -1,0 +1,110 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is a classic event-heap scheduler.  All distributed components in
+this repository (datacenters, Saturn serializers, clients, baselines) are
+actors scheduled on a single :class:`Simulator`.  Simulated time is a float
+in **milliseconds**, matching the units of the paper's latency tables.
+
+Determinism: events scheduled for the same instant are executed in the order
+they were scheduled (a monotonically increasing sequence number breaks ties),
+so a given seed always produces the identical execution.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling errors (e.g. events in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so that the heap pops them in
+    chronological order with FIFO tie-breaking.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Single-threaded deterministic discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (for diagnostics)."""
+        return self._events_executed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule *callback* to run ``delay`` ms from now.
+
+        Returns the :class:`Event`, which can be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        event = Event(self._now + delay, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule *callback* at absolute simulated time *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} < now {self._now}"
+            )
+        event = Event(time, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the heap drains, *until* is reached, or
+        *max_events* have executed.  Returns the final simulated time."""
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                break
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                self._now = until
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            executed += 1
+            self._events_executed += 1
+        else:
+            if until is not None:
+                self._now = max(self._now, until)
+        return self._now
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)

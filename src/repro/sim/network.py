@@ -1,0 +1,190 @@
+"""Simulated message network.
+
+The network delivers messages between named :class:`~repro.sim.process.Process`
+instances with configurable one-way latency.  Two properties matter for
+Saturn's correctness and are guaranteed here:
+
+* **FIFO links** — messages between an ordered pair of processes are
+  delivered in send order even when latency fluctuates (a later message never
+  overtakes an earlier one on the same link).  Saturn's serializer tree
+  requires FIFO channels (§5.3 of the paper).
+* **Deterministic jitter** — optional jitter is drawn from a seeded RNG
+  stream so executions are reproducible.
+
+Latency resolution order for a (src, dst) pair:
+
+1. an explicit per-link override (``set_link_latency`` / injected extra
+   delay),
+2. the site-level latency matrix (processes carry a *site* such as an EC2
+   region; see :meth:`Network.place`),
+3. ``default_latency`` (intra-site / unplaced processes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+
+__all__ = ["Network", "LatencyModel"]
+
+
+class LatencyModel:
+    """One-way latency between *sites* (e.g. EC2 regions), in ms.
+
+    The matrix is symmetric by construction; intra-site latency defaults to
+    ``local_latency``.
+    """
+
+    def __init__(self, local_latency: float = 0.5) -> None:
+        self._latency: Dict[Tuple[str, str], float] = {}
+        self.local_latency = local_latency
+
+    def set(self, a: str, b: str, latency: float) -> None:
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self._latency[(a, b)] = latency
+        self._latency[(b, a)] = latency
+
+    def get(self, a: str, b: str) -> float:
+        if a == b:
+            return self.local_latency
+        try:
+            return self._latency[(a, b)]
+        except KeyError:
+            raise KeyError(f"no latency configured between sites {a!r} and {b!r}")
+
+    def sites(self) -> set:
+        found = set()
+        for a, b in self._latency:
+            found.add(a)
+            found.add(b)
+        return found
+
+    @classmethod
+    def from_matrix(cls, sites: list, matrix: list,
+                    local_latency: float = 0.5) -> "LatencyModel":
+        """Build from a square matrix (row i, col j = latency site i -> j)."""
+        model = cls(local_latency=local_latency)
+        for i, a in enumerate(sites):
+            for j, b in enumerate(sites):
+                if i < j:
+                    model.set(a, b, matrix[i][j])
+        return model
+
+
+@dataclass
+class _LinkState:
+    """Per ordered-pair state used to enforce FIFO delivery."""
+
+    last_delivery: float = 0.0
+    extra_delay: float = 0.0
+    partitioned: bool = False
+
+
+class Network:
+    """Message fabric for all simulated processes."""
+
+    def __init__(self, sim: Simulator, latency_model: Optional[LatencyModel] = None,
+                 default_latency: float = 0.5, jitter: float = 0.0,
+                 rng: Optional[RngRegistry] = None) -> None:
+        self.sim = sim
+        self.latency_model = latency_model
+        self.default_latency = default_latency
+        self.jitter = jitter
+        self._rng = (rng or RngRegistry(seed=0)).stream("network-jitter")
+        self._processes: Dict[str, Process] = {}
+        self._sites: Dict[str, str] = {}
+        self._links: Dict[Tuple[str, str], _LinkState] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, process: Process) -> None:
+        if process.name in self._processes:
+            raise ValueError(f"duplicate process name {process.name!r}")
+        self._processes[process.name] = process
+
+    def place(self, process_name: str, site: str) -> None:
+        """Assign a process to a geographic site (latency-matrix row)."""
+        self._sites[process_name] = site
+
+    def site_of(self, process_name: str) -> Optional[str]:
+        return self._sites.get(process_name)
+
+    def process(self, name: str) -> Process:
+        return self._processes[name]
+
+    # -- link control (fault / delay injection) -----------------------------
+
+    def _link(self, src: str, dst: str) -> _LinkState:
+        key = (src, dst)
+        state = self._links.get(key)
+        if state is None:
+            state = _LinkState()
+            self._links[key] = state
+        return state
+
+    def inject_extra_delay(self, src: str, dst: str, extra: float,
+                           symmetric: bool = True) -> None:
+        """Add *extra* ms on top of the base latency (Fig. 6 experiments)."""
+        self._link(src, dst).extra_delay = extra
+        if symmetric:
+            self._link(dst, src).extra_delay = extra
+
+    def inject_site_delay(self, site_a: str, site_b: str, extra: float) -> None:
+        """Add extra delay between every process pair across two sites."""
+        for name_a, sa in self._sites.items():
+            for name_b, sb in self._sites.items():
+                if {sa, sb} == {site_a, site_b} and name_a != name_b:
+                    self._link(name_a, name_b).extra_delay = extra
+
+    def partition(self, src: str, dst: str, symmetric: bool = True) -> None:
+        """Drop all messages on the link until healed."""
+        self._link(src, dst).partitioned = True
+        if symmetric:
+            self._link(dst, src).partitioned = True
+
+    def heal(self, src: str, dst: str, symmetric: bool = True) -> None:
+        self._link(src, dst).partitioned = False
+        if symmetric:
+            self._link(dst, src).partitioned = False
+
+    # -- latency -----------------------------------------------------------
+
+    def base_latency(self, src: str, dst: str) -> float:
+        site_src = self._sites.get(src)
+        site_dst = self._sites.get(dst)
+        if site_src is not None and site_dst is not None and self.latency_model:
+            return self.latency_model.get(site_src, site_dst)
+        return self.default_latency
+
+    def latency(self, src: str, dst: str) -> float:
+        base = self.base_latency(src, dst)
+        state = self._links.get((src, dst))
+        extra = state.extra_delay if state else 0.0
+        jitter = self._rng.uniform(0.0, self.jitter) if self.jitter > 0 else 0.0
+        return base + extra + jitter
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, src: str, dst: str, message: Any, size_bytes: int = 0) -> None:
+        """Queue *message* for FIFO delivery from *src* to *dst*."""
+        if dst not in self._processes:
+            raise KeyError(f"unknown destination process {dst!r}")
+        state = self._link(src, dst)
+        if state.partitioned:
+            return
+        delay = self.latency(src, dst)
+        arrival = self.sim.now + delay
+        # FIFO: never deliver before a previously sent message on this link.
+        arrival = max(arrival, state.last_delivery)
+        state.last_delivery = arrival
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        target = self._processes[dst]
+        self.sim.schedule_at(arrival, lambda: target.deliver(src, message))

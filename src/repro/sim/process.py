@@ -1,0 +1,114 @@
+"""Actor base class for simulated distributed components.
+
+Every node in the simulated system (frontend, gear, storage server,
+serializer, client, ...) is a :class:`Process` with a unique name.  Processes
+communicate exclusively through the :class:`~repro.sim.network.Network`,
+which invokes :meth:`Process.receive` on delivery.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.sim.engine import Event, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.network import Network
+
+__all__ = ["Process", "RepeatingTimer"]
+
+
+class Process:
+    """A named actor on the simulation kernel.
+
+    Subclasses override :meth:`receive` to handle messages and may use
+    :meth:`set_timer` / :meth:`every` for local timeouts.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.network: Optional["Network"] = None
+        self._alive = True
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def crash(self) -> None:
+        """Fail-stop: the process silently drops everything from now on."""
+        self._alive = False
+
+    def recover(self) -> None:
+        self._alive = True
+
+    # -- messaging ---------------------------------------------------------
+
+    def attach_network(self, network: "Network") -> None:
+        self.network = network
+        network.register(self)
+
+    def send(self, to: str, message: Any) -> None:
+        """Send *message* to the process named *to* via the network."""
+        if not self._alive:
+            return
+        if self.network is None:
+            raise RuntimeError(f"process {self.name} has no network attached")
+        self.network.send(self.name, to, message)
+
+    def receive(self, sender: str, message: Any) -> None:
+        """Handle an incoming message.  Subclasses override."""
+        raise NotImplementedError
+
+    def deliver(self, sender: str, message: Any) -> None:
+        """Called by the network; drops messages while crashed."""
+        if not self._alive:
+            return
+        self.receive(sender, message)
+
+    # -- timers ------------------------------------------------------------
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Run *callback* after *delay* ms unless the process has crashed."""
+
+        def _fire() -> None:
+            if self._alive:
+                callback()
+
+        return self.sim.schedule(delay, _fire)
+
+    def every(self, period: float, callback: Callable[[], None]) -> "RepeatingTimer":
+        """Run *callback* every *period* ms, starting one period from now.
+
+        Returns a :class:`RepeatingTimer`; ``cancel()`` stops the chain.
+        """
+        return RepeatingTimer(self, period, callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class RepeatingTimer:
+    """Periodic timer bound to a process; stops when crashed or cancelled."""
+
+    def __init__(self, process: Process, period: float,
+                 callback: Callable[[], None]) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._process = process
+        self._period = period
+        self._callback = callback
+        self._cancelled = False
+        self._event = process.sim.schedule(period, self._tick)
+
+    def _tick(self) -> None:
+        if self._cancelled or not self._process.alive:
+            return
+        self._callback()
+        self._event = self._process.sim.schedule(self._period, self._tick)
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        self._event.cancel()

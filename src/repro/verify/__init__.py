@@ -1,0 +1,5 @@
+"""Offline causal-consistency verification."""
+
+from repro.verify.checker import ExecutionLog, Violation
+
+__all__ = ["ExecutionLog", "Violation"]

@@ -1,0 +1,166 @@
+"""Offline causal-consistency checker.
+
+During a run, datacenters and clients record an :class:`ExecutionLog`:
+
+* every update with its origin and its **true causal past** (the exact set
+  of update versions the issuing client had observed — not the conservative
+  scalar/vector the protocols use);
+* the order in which each datacenter made updates visible;
+* every read, with the version returned and the greatest version of that
+  key the client had previously observed.
+
+:func:`ExecutionLog.check` then validates two properties:
+
+1. **Causal visibility order** — at every datacenter, an update becomes
+   visible only after every update in its causal past that is replicated at
+   that datacenter (genuine partial replication: dependencies on items a
+   datacenter does not replicate are exempt, §2).
+2. **Session monotonicity** — a read never returns a version of a key older
+   (in the total label order) than a version of that key the client had
+   already observed; with last-writer-wins storage this subsumes
+   read-your-writes and monotonic reads.
+
+The eventually consistent baseline genuinely violates (1) under concurrent
+cross-datacenter traffic, which the tests use as a positive control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.label import Label
+from repro.core.replication import ReplicationMap
+
+__all__ = ["ExecutionLog", "Violation"]
+
+VersionId = Tuple[float, str]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected consistency violation."""
+
+    kind: str       # "causal-order" | "session-monotonicity"
+    dc: str
+    detail: str
+
+
+@dataclass
+class _UpdateRecord:
+    version: VersionId
+    key: str
+    origin: str
+    created_at: float
+    deps: FrozenSet[VersionId] = frozenset()
+
+
+class ExecutionLog:
+    """Everything that happened during a run, for offline validation."""
+
+    def __init__(self, replication: ReplicationMap) -> None:
+        self.replication = replication
+        self.updates: Dict[VersionId, _UpdateRecord] = {}
+        #: per-datacenter visibility order (position index per version)
+        self._visible_pos: Dict[str, Dict[VersionId, int]] = {}
+        self._visible_count: Dict[str, int] = {}
+        self._reads: List[Tuple[str, str, str, Optional[VersionId],
+                                Optional[VersionId]]] = []
+
+    # ------------------------------------------------------------------
+    # recording (called by datacenters and clients)
+    # ------------------------------------------------------------------
+
+    def record_update(self, label: Label, origin_dc: str,
+                      created_at: float) -> None:
+        """A local update was applied at its origin (visible there now)."""
+        version = (label.ts, label.src)
+        if version not in self.updates:
+            self.updates[version] = _UpdateRecord(
+                version=version, key=label.target or "", origin=origin_dc,
+                created_at=created_at)
+        self._mark_visible(origin_dc, version)
+
+    def record_update_deps(self, version: VersionId,
+                           deps: FrozenSet[VersionId]) -> None:
+        """The issuing client's true causal past for *version*."""
+        record = self.updates.get(version)
+        if record is not None:
+            record.deps = deps
+        else:
+            # client reply raced ahead of the datacenter hook: store a stub
+            self.updates[version] = _UpdateRecord(
+                version=version, key="", origin="", created_at=0.0, deps=deps)
+
+    def record_visible(self, label: Label, dc: str, at: float) -> None:
+        """A remote update became visible at *dc*."""
+        self._mark_visible(dc, (label.ts, label.src))
+
+    def _mark_visible(self, dc: str, version: VersionId) -> None:
+        positions = self._visible_pos.setdefault(dc, {})
+        if version in positions:
+            return
+        positions[version] = self._visible_count.get(dc, 0)
+        self._visible_count[dc] = positions[version] + 1
+
+    def record_read(self, client_id: str, dc: str, key: str,
+                    returned: Optional[VersionId],
+                    observed_max: Optional[VersionId]) -> None:
+        self._reads.append((client_id, dc, key, returned, observed_max))
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def check(self) -> List[Violation]:
+        violations = list(self._check_causal_order())
+        violations.extend(self._check_sessions())
+        return violations
+
+    def _check_causal_order(self):
+        """A dependency is satisfied when it — or, with last-writer-wins
+        registers, any *newer* version of the same key (the causal+
+        convergence rule) — became visible earlier."""
+        for dc, positions in self._visible_pos.items():
+            # per-key visible versions at this datacenter, by position
+            by_key: Dict[str, List[Tuple[int, VersionId]]] = {}
+            for version, pos in positions.items():
+                record = self.updates.get(version)
+                if record is not None and record.key:
+                    by_key.setdefault(record.key, []).append((pos, version))
+            for version, pos in positions.items():
+                record = self.updates.get(version)
+                if record is None:
+                    continue
+                for dep in record.deps:
+                    dep_record = self.updates.get(dep)
+                    if dep_record is None:
+                        continue
+                    if not self.replication.is_replicated_at(dep_record.key, dc):
+                        continue  # genuine partial replication exemption
+                    satisfied = any(
+                        p < pos and v >= dep
+                        for p, v in by_key.get(dep_record.key, ()))
+                    if not satisfied:
+                        yield Violation(
+                            kind="causal-order", dc=dc,
+                            detail=(f"update {version} visible at {dc} before "
+                                    f"its dependency {dep}"))
+
+    def _check_sessions(self):
+        for client_id, dc, key, returned, observed_max in self._reads:
+            if observed_max is None:
+                continue
+            if returned is None or returned < observed_max:
+                yield Violation(
+                    kind="session-monotonicity", dc=dc,
+                    detail=(f"client {client_id} read {key} at {dc}: got "
+                            f"{returned}, had observed {observed_max}"))
+
+    # ------------------------------------------------------------------
+
+    def visible_counts(self) -> Dict[str, int]:
+        return dict(self._visible_count)
+
+    def read_count(self) -> int:
+        return len(self._reads)

@@ -1,0 +1,16 @@
+"""Workload generators: synthetic (§7.3) and Facebook-based (§7.4)."""
+
+from repro.workloads.correlation import CORRELATION_PATTERNS, build_replication
+from repro.workloads.facebook import (FacebookWorkload, OPERATION_MIX,
+                                      generate_social_graph)
+from repro.workloads.ops import ReadOp, RemoteReadOp, UpdateOp
+from repro.workloads.partitioning import (assign_masters,
+                                          build_social_replication, user_group)
+from repro.workloads.synthetic import SyntheticWorkload
+
+__all__ = [
+    "CORRELATION_PATTERNS", "build_replication", "FacebookWorkload",
+    "OPERATION_MIX", "generate_social_graph", "ReadOp", "RemoteReadOp",
+    "UpdateOp", "assign_masters", "build_social_replication", "user_group",
+    "SyntheticWorkload",
+]

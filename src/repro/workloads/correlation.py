@@ -1,0 +1,82 @@
+"""Datacenter correlation patterns (§7.3.2, "Correlation").
+
+The paper defines the correlation between two datacenters as the amount of
+data they share, and studies four placement patterns:
+
+* **exponential** — correlation decays exponentially with inter-datacenter
+  latency: a prominent partial geo-replication scenario;
+* **proportional** — linear decay with latency: a smoother distribution;
+* **uniform** — every pair of datacenters equally correlated;
+* **full** — full geo-replication (every key everywhere).
+
+In addition, a **degree** pattern replicates each group at its home plus
+the ``degree - 1`` nearest datacenters, which is the knob used by the
+Fig. 1b motivation experiment (replication degree 5 -> 2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.replication import ReplicationMap
+from repro.sim.rng import RngRegistry
+
+__all__ = ["build_replication", "CORRELATION_PATTERNS"]
+
+CORRELATION_PATTERNS = ("exponential", "proportional", "uniform", "full", "degree")
+
+
+def _inclusion_probability(pattern: str, latency: float, max_latency: float) -> float:
+    if pattern == "exponential":
+        # tau chosen so nearby regions (~10 ms) are almost always shared and
+        # the furthest (~160 ms) almost never are
+        return 2.718281828 ** (-latency / 30.0)
+    if pattern == "proportional":
+        return max(0.0, 1.0 - latency / max_latency)
+    if pattern == "uniform":
+        return 0.35
+    raise ValueError(f"unknown probabilistic pattern {pattern!r}")
+
+
+def build_replication(datacenters: Sequence[str], pattern: str,
+                      latency: Callable[[str, str], float],
+                      rng: RngRegistry, groups_per_dc: int = 4,
+                      degree: Optional[int] = None,
+                      min_degree: int = 1) -> ReplicationMap:
+    """Build a :class:`ReplicationMap` with ``groups_per_dc`` groups homed at
+    each datacenter, placed according to *pattern*.
+
+    ``degree`` is required by (and only used with) the ``"degree"`` pattern.
+    """
+    if pattern not in CORRELATION_PATTERNS:
+        raise ValueError(f"unknown correlation pattern {pattern!r}; "
+                         f"expected one of {CORRELATION_PATTERNS}")
+    replication = ReplicationMap(datacenters)
+    stream = rng.stream(f"correlation-{pattern}")
+    max_latency = max((latency(a, b) for a in datacenters for b in datacenters
+                       if a != b), default=1.0)
+    for home in datacenters:
+        others_by_distance = sorted((dc for dc in datacenters if dc != home),
+                                    key=lambda dc: (latency(home, dc), dc))
+        for index in range(groups_per_dc):
+            group = f"g{home}.{index}"
+            if pattern == "full":
+                replicas = list(datacenters)
+            elif pattern == "degree":
+                if degree is None:
+                    raise ValueError("'degree' pattern requires degree=")
+                replicas = [home] + others_by_distance[:max(0, degree - 1)]
+            else:
+                replicas = [home]
+                for dc in others_by_distance:
+                    p = _inclusion_probability(pattern, latency(home, dc),
+                                               max_latency)
+                    if stream.random() < p:
+                        replicas.append(dc)
+                while len(replicas) < min_degree:
+                    for dc in others_by_distance:
+                        if dc not in replicas:
+                            replicas.append(dc)
+                            break
+            replication.set_group(group, replicas)
+    return replication

@@ -1,0 +1,31 @@
+"""Client operation types issued by workload generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ReadOp", "UpdateOp", "RemoteReadOp"]
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    """Read a key replicated at the client's current datacenter."""
+
+    key: str
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """Update a key replicated at the client's current datacenter."""
+
+    key: str
+    value_size: int
+
+
+@dataclass(frozen=True)
+class RemoteReadOp:
+    """Read a key not replicated locally: migrate to *target_dc*, attach,
+    read, migrate back, and re-attach at the home datacenter."""
+
+    key: str
+    target_dc: str

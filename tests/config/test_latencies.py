@@ -1,0 +1,43 @@
+"""Table 1: EC2 inter-region latencies."""
+
+import pytest
+
+from repro.config.latencies import (EC2_LATENCIES, EC2_REGIONS, ec2_latency,
+                                    ec2_latency_model)
+
+
+def test_seven_regions():
+    assert len(EC2_REGIONS) == 7
+    assert EC2_REGIONS == ["NV", "NC", "O", "I", "F", "T", "S"]
+
+
+def test_all_pairs_present():
+    n = len(EC2_REGIONS)
+    assert len(EC2_LATENCIES) == n * (n - 1) // 2
+
+
+def test_values_from_the_paper():
+    assert ec2_latency("I", "F") == 10.0
+    assert ec2_latency("T", "S") == 52.0
+    assert ec2_latency("I", "S") == 154.0
+    assert ec2_latency("F", "S") == 161.0
+    assert ec2_latency("NV", "NC") == 37.0
+    assert ec2_latency("NC", "O") == 10.0
+    assert ec2_latency("I", "T") == 107.0
+
+
+def test_symmetry_and_self():
+    assert ec2_latency("S", "T") == ec2_latency("T", "S")
+    assert ec2_latency("I", "I") == 0.0
+
+
+def test_unknown_region_raises():
+    with pytest.raises(KeyError):
+        ec2_latency("I", "MARS")
+
+
+def test_model_matches_table():
+    model = ec2_latency_model(local_latency=0.5)
+    for (a, b), value in EC2_LATENCIES.items():
+        assert model.get(a, b) == value
+    assert model.get("I", "I") == 0.5

@@ -1,0 +1,86 @@
+"""Definition 1 (optimal visibility time) and Definition 2 (mismatch)."""
+
+import pytest
+
+from repro.config.objective import (optimal_visibility_time,
+                                    pair_weights_from_replication,
+                                    weighted_mismatch)
+from repro.core.replication import ReplicationMap
+from repro.core.tree import TreeTopology
+
+
+def lat(a, b):
+    table = {frozenset(("A", "B")): 10.0, frozenset(("A", "C")): 50.0,
+             frozenset(("B", "C")): 40.0}
+    return 0.0 if a == b else table[frozenset((a, b))]
+
+
+def test_optimal_visibility_time_without_deps():
+    assert optimal_visibility_time(100.0, "A", "B", lat) == 110.0
+
+
+def test_optimal_visibility_time_dominated_by_dependency():
+    # Definition 1: vt = max(arrival, max of causal past's vts)
+    assert optimal_visibility_time(100.0, "A", "B", lat,
+                                   dependency_times=[130.0]) == 130.0
+    assert optimal_visibility_time(100.0, "A", "B", lat,
+                                   dependency_times=[105.0]) == 110.0
+
+
+def test_weighted_mismatch_zero_for_perfect_tree():
+    # two DCs, one serializer co-located with A and zero local latency
+    topo = TreeTopology(serializer_sites={"s0": "A"}, edges=[],
+                        attachments={"A": "s0", "B": "s0"})
+    assert weighted_mismatch(topo, {"A": "A", "B": "B"}, lat) == 0.0
+
+
+def test_weighted_mismatch_counts_detours():
+    # chain forces A->C through B: path 50 via B = 10+40 = 50 = direct; but
+    # with serializer at B only, A->B = 10 and B->C = 40 stay optimal too
+    topo = TreeTopology(serializer_sites={"s0": "B"}, edges=[],
+                        attachments={"A": "s0", "B": "s0", "C": "s0"})
+    sites = {x: x for x in "ABC"}
+    total = weighted_mismatch(topo, sites, lat)
+    # A->C achieved = 10 + 40 = 50 = optimal; A<->B, B<->C optimal; so 0
+    assert total == pytest.approx(0.0)
+
+
+def test_weighted_mismatch_with_weights_and_delays():
+    topo = TreeTopology(
+        serializer_sites={"s0": "A", "s1": "B"}, edges=[("s0", "s1")],
+        attachments={"A": "s0", "B": "s1"}, delays={("s0", "s1"): 5.0})
+    sites = {"A": "A", "B": "B"}
+    # A->B achieved 15 vs optimal 10 -> 5; B->A achieved 10 -> 0
+    assert weighted_mismatch(topo, sites, lat) == pytest.approx(5.0)
+    weights = {("A", "B"): 2.0, ("B", "A"): 1.0}
+    assert weighted_mismatch(topo, sites, lat, weights) == pytest.approx(10.0)
+
+
+def test_weighted_mismatch_with_separate_bulk_latency():
+    topo = TreeTopology(serializer_sites={"s0": "A"}, edges=[],
+                        attachments={"A": "s0", "B": "s0"})
+    sites = {"A": "A", "B": "B"}
+
+    def bulk(a, b):
+        return 0.0 if a == b else 25.0
+
+    # metadata path = 10, bulk = 25 -> mismatch 15 per direction
+    assert weighted_mismatch(topo, sites, lat,
+                             bulk_latency=bulk) == pytest.approx(30.0)
+
+
+def test_pair_weights_from_replication():
+    replication = ReplicationMap(["A", "B", "C"])
+    replication.set_group("g1", ["A", "B"])
+    replication.set_group("g2", ["A", "B", "C"])
+    weights = pair_weights_from_replication(replication)
+    assert weights[("A", "B")] == 2.0
+    assert weights[("A", "C")] == 1.0
+    assert weights[("B", "C")] == 1.0
+    assert ("A", "A") not in weights
+
+
+def test_pair_weights_full_replication_defaults_to_one():
+    replication = ReplicationMap(["A", "B"])
+    weights = pair_weights_from_replication(replication)
+    assert weights[("A", "B")] == 1.0

@@ -1,0 +1,105 @@
+"""Algorithm 3: tree enumeration, beam search, fusion."""
+
+import pytest
+
+from repro.config.latencies import EC2_REGIONS, ec2_latency
+from repro.config.placement import (enumerate_insertions, find_configuration,
+                                    fuse_topology)
+from repro.core.tree import TreeTopology
+
+
+def leaf_count(tree):
+    if tree[0] == "leaf":
+        return 1
+    return leaf_count(tree[1]) + leaf_count(tree[2])
+
+
+def leaves(tree):
+    if tree[0] == "leaf":
+        return [tree[1]]
+    return leaves(tree[1]) + leaves(tree[2])
+
+
+def test_insertion_count_matches_isomorphism_classes():
+    """Inserting into a tree of f leaves yields 2f-1 new trees (§5.5)."""
+    tree = ("node", ("leaf", "A"), ("leaf", "B"))
+    for f in range(2, 7):
+        variants = enumerate_insertions(tree, f"X{f}")
+        assert len(variants) == 2 * f - 1
+        tree = variants[0]
+
+
+def test_insertions_preserve_leaves_and_add_one():
+    tree = ("node", ("leaf", "A"), ("leaf", "B"))
+    for variant in enumerate_insertions(tree, "C"):
+        assert sorted(leaves(variant)) == ["A", "B", "C"]
+        assert leaf_count(variant) == 3
+
+
+def test_find_configuration_small_is_sensible():
+    sites = ["I", "F", "T"]
+    solved = find_configuration(sites, {s: s for s in sites}, ec2_latency)
+    topo = solved.topology
+    assert sorted(topo.attachments) == sorted(sites)
+    # I and F are 10 ms apart: their metadata path must stay cheap
+    path = topo.path_latency("I", "F", ec2_latency, {s: s for s in sites})
+    assert path <= 30.0
+
+
+def test_find_configuration_requires_two_dcs():
+    with pytest.raises(ValueError):
+        find_configuration(["I"], {"I": "I"}, ec2_latency)
+
+
+def test_find_configuration_seven_regions_close_regions_stay_close():
+    sites = list(EC2_REGIONS)
+    solved = find_configuration(sites, {s: s for s in sites}, ec2_latency,
+                                beam_width=4)
+    dc_sites = {s: s for s in sites}
+    for a, b in (("I", "F"), ("NC", "O")):
+        achieved = solved.topology.path_latency(a, b, ec2_latency, dc_sites)
+        assert achieved <= ec2_latency(a, b) + 15.0
+
+
+def test_weights_pull_correlated_dcs_together():
+    """With T<->S carrying all the weight, their metadata path must be
+    near-optimal even if other pairs suffer."""
+    sites = list(EC2_REGIONS)
+    weights = {(a, b): 0.05 for a in sites for b in sites if a != b}
+    weights[("T", "S")] = 50.0
+    weights[("S", "T")] = 50.0
+    solved = find_configuration(sites, {s: s for s in sites}, ec2_latency,
+                                weights=weights, beam_width=4)
+    achieved = solved.topology.path_latency("T", "S", ec2_latency,
+                                            {s: s for s in sites})
+    assert achieved <= ec2_latency("T", "S") + 10.0
+
+
+def test_fuse_topology_merges_colocated_serializers():
+    topo = TreeTopology(
+        serializer_sites={"s0": "I", "s1": "I", "s2": "F"},
+        edges=[("s0", "s1"), ("s1", "s2")],
+        attachments={"I": "s0", "F": "s2", "T": "s1"})
+    fused = fuse_topology(topo)
+    assert len(fused.serializer_sites) == 2
+    assert sorted(fused.attachments) == ["F", "I", "T"]
+    # fusing must preserve validity
+    assert len(fused.edges) == len(fused.serializer_sites) - 1
+
+
+def test_fuse_topology_respects_delays():
+    topo = TreeTopology(
+        serializer_sites={"s0": "I", "s1": "I"},
+        edges=[("s0", "s1")],
+        attachments={"I": "s0", "F": "s1"},
+        delays={("s0", "s1"): 5.0})
+    fused = fuse_topology(topo)
+    assert len(fused.serializer_sites) == 2  # delayed edge not fused
+
+
+def test_fuse_topology_noop_when_nothing_to_fuse():
+    topo = TreeTopology(
+        serializer_sites={"s0": "I", "s1": "F"},
+        edges=[("s0", "s1")],
+        attachments={"I": "s0", "F": "s1"})
+    assert fuse_topology(topo) is topo

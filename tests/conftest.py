@@ -1,0 +1,97 @@
+"""Shared fixtures and mini-cluster helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.replication import ReplicationMap
+from repro.core.service import SaturnService
+from repro.core.tree import TreeTopology
+from repro.datacenter.datacenter import DatacenterParams, SaturnDatacenter
+from repro.harness.runner import MetricsHub
+from repro.sim.clock import ClockFactory
+from repro.sim.cpu import CostModel
+from repro.sim.engine import Simulator
+from repro.sim.network import LatencyModel, Network
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> RngRegistry:
+    return RngRegistry(seed=7)
+
+
+def small_latency_model() -> LatencyModel:
+    """Three sites with asymmetric distances (I close to F, T far)."""
+    model = LatencyModel(local_latency=0.25)
+    model.set("I", "F", 10.0)
+    model.set("I", "T", 100.0)
+    model.set("F", "T", 110.0)
+    return model
+
+
+class MiniCluster:
+    """Hand-wired 3-datacenter Saturn deployment for component tests."""
+
+    def __init__(self, consistency: str = "saturn",
+                 topology: TreeTopology = None,
+                 replication: ReplicationMap = None,
+                 sink_batch_period: float = 1.0,
+                 sink_heartbeat_period: float = 10.0,
+                 bulk_heartbeat_period: float = 5.0,
+                 parallel_concurrent_apply: bool = True,
+                 ping_period: float = 0.0,
+                 max_skew: float = 0.5,
+                 seed: int = 7) -> None:
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed=seed)
+        self.sites = ["I", "F", "T"]
+        self.network = Network(self.sim, latency_model=small_latency_model(),
+                               default_latency=0.25, rng=self.rng)
+        self.metrics = MetricsHub(self.sim)
+        self.replication = replication or ReplicationMap(self.sites)
+        clocks = ClockFactory(self.sim, self.rng, max_skew=max_skew)
+        self.cost = CostModel()
+        self.service = None
+        if consistency == "saturn":
+            self.service = SaturnService(self.sim, self.network,
+                                         self.replication)
+            topology = topology or TreeTopology.star(
+                "I", {s: s for s in self.sites})
+            self.service.install_tree(topology, epoch=0)
+        self.dcs = {}
+        for site in self.sites:
+            params = DatacenterParams(
+                name=site, site=site, num_partitions=2,
+                consistency=consistency,
+                sink_batch_period=sink_batch_period,
+                sink_heartbeat_period=sink_heartbeat_period,
+                bulk_heartbeat_period=bulk_heartbeat_period,
+                parallel_concurrent_apply=parallel_concurrent_apply,
+                ping_period=ping_period)
+            dc = SaturnDatacenter(self.sim, params, self.replication,
+                                  self.cost, clocks.create(),
+                                  metrics=self.metrics)
+            dc.attach_network(self.network)
+            self.network.place(dc.name, site)
+            dc.saturn = self.service
+            self.dcs[site] = dc
+
+    def start(self) -> None:
+        for dc in self.dcs.values():
+            dc.start()
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)
+
+
+@pytest.fixture
+def mini_cluster() -> MiniCluster:
+    cluster = MiniCluster()
+    cluster.start()
+    return cluster

@@ -1,0 +1,104 @@
+"""Unit tests for chain replication of serializer groups (§6.1)."""
+
+import pytest
+
+from repro.core.chain import ChainGroup
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+
+
+def make_chain(replicas=3):
+    sim = Simulator()
+    network = Network(sim, default_latency=0.5, rng=RngRegistry(seed=4))
+    delivered = []
+    chain = ChainGroup(sim, network, "ser0", replicas,
+                       deliver=delivered.append)
+    return sim, chain, delivered
+
+
+def test_requires_a_replica():
+    sim = Simulator()
+    network = Network(sim, rng=RngRegistry(seed=1))
+    with pytest.raises(ValueError):
+        ChainGroup(sim, network, "c", 0, deliver=lambda item: None)
+
+
+def test_single_replica_delivers():
+    sim, chain, delivered = make_chain(replicas=1)
+    chain.submit("a")
+    sim.run()
+    assert delivered == ["a"]
+
+
+def test_delivery_preserves_order():
+    sim, chain, delivered = make_chain()
+    for i in range(20):
+        chain.submit(i)
+    sim.run()
+    assert delivered == list(range(20))
+
+
+def test_acks_clear_buffers():
+    sim, chain, delivered = make_chain()
+    for i in range(5):
+        chain.submit(i)
+    sim.run()
+    for replica in chain.replicas:
+        assert replica.unacked == {}
+
+
+def test_head_crash_no_loss():
+    sim, chain, delivered = make_chain()
+    for i in range(10):
+        chain.submit(i)
+    # crash the head before anything propagates
+    chain.crash_replica(0)
+    for i in range(10, 15):
+        chain.submit(i)
+    sim.run()
+    # items accepted by the (old) head before its crash may be lost —
+    # fail-stop — but everything the new head saw is delivered in order
+    assert delivered[-5:] == list(range(10, 15))
+    assert delivered == sorted(delivered)
+
+
+def test_middle_crash_retransmits_unacked():
+    sim, chain, delivered = make_chain(replicas=3)
+    for i in range(10):
+        chain.submit(i)
+    sim.run(until=0.6)  # items sit unacked at the middle replica
+    chain.crash_replica(1)
+    sim.run()
+    assert delivered == list(range(10))
+
+
+def test_tail_crash_promotes_predecessor():
+    sim, chain, delivered = make_chain(replicas=3)
+    for i in range(10):
+        chain.submit(i)
+    sim.run(until=0.6)
+    chain.crash_replica(2)
+    sim.run()
+    assert delivered == list(range(10))
+    assert chain.tail is chain.replicas[1]
+
+
+def test_no_duplicate_deliveries_after_crash():
+    sim, chain, delivered = make_chain(replicas=3)
+    for i in range(10):
+        chain.submit(i)
+    sim.run(until=1.1)  # some items already delivered, acks in flight
+    chain.crash_replica(1)
+    sim.run()
+    assert delivered == list(range(10))
+
+
+def test_alive_count_and_exhaustion():
+    sim, chain, delivered = make_chain(replicas=2)
+    assert chain.alive_count() == 2
+    chain.crash_replica(0)
+    chain.crash_replica(1)
+    assert chain.alive_count() == 0
+    with pytest.raises(RuntimeError):
+        _ = chain.head

@@ -1,0 +1,98 @@
+"""Unit and property tests for Saturn labels (§3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.label import Label, LabelType, label_max
+
+
+def make(ts, src="dc1/g0", type_=LabelType.UPDATE, target="k"):
+    return Label(type_, src=src, ts=ts, target=target, origin_dc="dc1")
+
+
+def test_comparability_by_timestamp():
+    assert make(1.0) < make(2.0)
+    assert make(2.0) > make(1.0)
+
+
+def test_comparability_ties_broken_by_source():
+    a = make(1.0, src="dcA/g0")
+    b = make(1.0, src="dcB/g0")
+    assert a < b
+
+
+def test_equality_is_by_ts_and_src():
+    a = make(1.0, target="x")
+    b = make(1.0, target="y")
+    assert a == b  # same (ts, src) — identity ignores payload fields
+    assert hash(a) == hash(b)
+
+
+def test_uniqueness_of_ts_src_pairs():
+    labels = {make(float(i), src=f"dc{j}/g0")
+              for i in range(10) for j in range(3)}
+    assert len(labels) == 30
+
+
+def test_type_predicates():
+    assert make(1.0).is_update()
+    assert not make(1.0).is_migration()
+    migration = make(1.0, type_=LabelType.MIGRATION, target="F")
+    assert migration.is_migration()
+
+
+def test_label_max_handles_none():
+    a = make(1.0)
+    assert label_max(None, a) is a
+    assert label_max(a, None) is a
+    assert label_max(None, None) is None
+
+
+def test_label_max_returns_greater():
+    a, b = make(1.0), make(2.0)
+    assert label_max(a, b) is b
+    assert label_max(b, a) is b
+
+
+def test_labels_are_immutable():
+    with pytest.raises(AttributeError):
+        make(1.0).ts = 5.0
+
+
+def test_comparison_with_non_label_not_supported():
+    assert make(1.0).__lt__(42) is NotImplemented
+    assert make(1.0) != 42
+
+
+def test_repr_mentions_fields():
+    text = repr(make(1.5, target="key9"))
+    assert "key9" in text and "1.5" in text
+
+
+label_strategy = st.builds(
+    make,
+    ts=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+    src=st.sampled_from(["a/g0", "b/g0", "c/g1"]))
+
+
+@given(label_strategy, label_strategy)
+def test_total_order_antisymmetry(a, b):
+    assert (a < b) or (b < a) or (a == b)
+    if a < b:
+        assert not b < a
+
+
+@given(label_strategy, label_strategy, label_strategy)
+def test_total_order_transitivity(a, b, c):
+    if a < b and b < c:
+        assert a < c
+
+
+@given(label_strategy, label_strategy)
+def test_label_max_commutative(a, b):
+    assert label_max(a, b) == label_max(b, a)
+
+
+@given(st.lists(label_strategy, min_size=1, max_size=20))
+def test_sorting_matches_sort_key(labels):
+    assert sorted(labels) == sorted(labels, key=lambda l: l.sort_key())

@@ -1,0 +1,72 @@
+"""Unit tests for the replication map (genuine partial replication)."""
+
+import pytest
+
+from repro.core.replication import ReplicationMap
+
+
+def test_requires_datacenters():
+    with pytest.raises(ValueError):
+        ReplicationMap([])
+
+
+def test_default_is_full_replication():
+    rm = ReplicationMap(["A", "B", "C"])
+    assert rm.replicas("anything") == frozenset({"A", "B", "C"})
+    assert rm.average_replication_degree() == 3.0
+
+
+def test_group_key_parsing():
+    assert ReplicationMap.group_of("gX.1:42") == "gX.1"
+    assert ReplicationMap.group_of("plainkey") is None
+    assert ReplicationMap.group_of("x:1") is None  # must start with 'g'
+
+
+def test_set_group_and_lookup():
+    rm = ReplicationMap(["A", "B", "C"])
+    rm.set_group("g1", ["A", "B"])
+    assert rm.replicas("g1:0") == frozenset({"A", "B"})
+    assert rm.is_replicated_at("g1:0", "A")
+    assert not rm.is_replicated_at("g1:0", "C")
+
+
+def test_unknown_group_defaults_to_full():
+    rm = ReplicationMap(["A", "B"])
+    rm.set_group("g1", ["A"])
+    assert rm.replicas("g999:0") == frozenset({"A", "B"})
+
+
+def test_set_group_rejects_unknown_dc():
+    rm = ReplicationMap(["A", "B"])
+    with pytest.raises(ValueError):
+        rm.set_group("g1", ["A", "Z"])
+
+
+def test_set_group_rejects_empty():
+    rm = ReplicationMap(["A", "B"])
+    with pytest.raises(ValueError):
+        rm.set_group("g1", [])
+
+
+def test_groups_at():
+    rm = ReplicationMap(["A", "B", "C"])
+    rm.set_group("g1", ["A", "B"])
+    rm.set_group("g2", ["B", "C"])
+    rm.set_group("g3", ["A"])
+    assert rm.groups_at("A") == ["g1", "g3"]
+    assert rm.groups_at("C") == ["g2"]
+
+
+def test_average_replication_degree():
+    rm = ReplicationMap(["A", "B", "C"])
+    rm.set_group("g1", ["A"])
+    rm.set_group("g2", ["A", "B", "C"])
+    assert rm.average_replication_degree() == pytest.approx(2.0)
+
+
+def test_groups_returns_copy():
+    rm = ReplicationMap(["A", "B"])
+    rm.set_group("g1", ["A"])
+    groups = rm.groups()
+    groups["g1"] = frozenset({"B"})
+    assert rm.replicas_of_group("g1") == frozenset({"A"})

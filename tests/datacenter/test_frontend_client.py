@@ -1,0 +1,139 @@
+"""Frontend attach semantics (Alg. 1) and the client state machine."""
+
+from repro.core.label import Label, LabelType
+from repro.datacenter.client import ClientProcess
+from repro.datacenter.messages import AttachOk, ClientAttach
+from repro.harness.runner import MetricsHub
+from repro.sim.process import Process
+from repro.workloads.ops import ReadOp, RemoteReadOp, UpdateOp
+
+from conftest import MiniCluster
+
+
+class Probe(Process):
+    """Fires client-style messages and records replies."""
+
+    def __init__(self, sim, name="probe"):
+        super().__init__(sim, name)
+        self.replies = []
+
+    def receive(self, sender, message):
+        self.replies.append(message)
+
+
+def make_client(cluster, ops, home="I", max_ops=None, client_id="c0"):
+    iterator = iter(ops)
+    client = ClientProcess(cluster.sim, client_id, home,
+                           lambda c: next(iterator, None),
+                           metrics=cluster.metrics, max_ops=max_ops)
+    client.attach_network(cluster.network)
+    cluster.network.place(client.name, home)
+    return client
+
+
+def test_attach_with_no_past_is_immediate(mini_cluster):
+    probe = Probe(mini_cluster.sim)
+    probe.attach_network(mini_cluster.network)
+    mini_cluster.network.place(probe.name, "I")
+    probe.send("dc:I", ClientAttach("c", None))
+    mini_cluster.sim.run(until=2.0)
+    assert isinstance(probe.replies[0], AttachOk)
+
+
+def test_attach_with_local_past_is_immediate(mini_cluster):
+    probe = Probe(mini_cluster.sim)
+    probe.attach_network(mini_cluster.network)
+    mini_cluster.network.place(probe.name, "I")
+    local = Label(LabelType.UPDATE, src="I/g0", ts=99.0, target="k",
+                  origin_dc="I")
+    probe.send("dc:I", ClientAttach("c", local))
+    mini_cluster.sim.run(until=2.0)
+    assert isinstance(probe.replies[0], AttachOk)
+
+
+def test_attach_with_remote_update_label_waits_for_stability():
+    cluster = MiniCluster(sink_heartbeat_period=5.0)
+    cluster.start()
+    probe = Probe(cluster.sim)
+    probe.attach_network(cluster.network)
+    cluster.network.place(probe.name, "F")
+    remote = Label(LabelType.UPDATE, src="I/g0", ts=1.0, target="k",
+                   origin_dc="I")
+    probe.send("dc:F", ClientAttach("c", remote))
+    cluster.sim.run(until=2.0)
+    assert probe.replies == []  # not yet stable
+    # heartbeat labels from I and T eventually raise all watermarks past 1.0
+    cluster.sim.run(until=300.0)
+    assert probe.replies and isinstance(probe.replies[0], AttachOk)
+
+
+def test_client_runs_sequence_of_ops(mini_cluster):
+    ops = [UpdateOp("k1", 8), ReadOp("k1"), UpdateOp("k2", 8), ReadOp("k2")]
+    client = make_client(mini_cluster, ops)
+    client.start()
+    mini_cluster.sim.run(until=100.0)
+    assert client.ops_completed == 4
+    assert client.stamp is not None
+    assert client.stamp.target == "k2"
+
+
+def test_client_stamp_tracks_greatest_label(mini_cluster):
+    ops = [UpdateOp("a", 8), UpdateOp("b", 8)]
+    client = make_client(mini_cluster, ops)
+    client.start()
+    mini_cluster.sim.run(until=100.0)
+    assert client.stamp.target == "b"
+
+
+def test_client_max_ops(mini_cluster):
+    ops = [ReadOp("k")] * 10
+    client = make_client(mini_cluster, ops, max_ops=3)
+    client.start()
+    mini_cluster.sim.run(until=100.0)
+    assert client.ops_completed == 3
+
+
+def test_remote_read_full_migration_roundtrip(mini_cluster):
+    """migrate out -> attach -> read -> migrate back -> attach home."""
+    writer = make_client(mini_cluster, [UpdateOp("k", 8)], home="T",
+                         client_id="writer")
+    writer.start()
+    mini_cluster.sim.run(until=300.0)
+
+    ops = [RemoteReadOp("k", target_dc="T")]
+    client = make_client(mini_cluster, ops)
+    client.start()
+    mini_cluster.sim.run(until=1500.0)
+    assert client.ops_completed == 1
+    assert client.current_dc == "I"
+    # the client observed T's update during the remote read
+    assert client.stamp is not None and client.stamp.ts >= writer.stamp.ts
+    kinds = mini_cluster.metrics.ops.counts()
+    assert kinds.get("remote_read") == 1
+
+
+def test_remote_read_latency_reflects_wan(mini_cluster):
+    ops = [RemoteReadOp("k", target_dc="T")]
+    client = make_client(mini_cluster, ops)
+    client.start()
+    mini_cluster.sim.run(until=2000.0)
+    latencies = mini_cluster.metrics.ops.latencies("remote_read")
+    # at least two I<->T round trips (100 ms one way)
+    assert latencies and latencies[0] >= 300.0
+
+
+def test_read_of_missing_key_returns_no_label(mini_cluster):
+    client = make_client(mini_cluster, [ReadOp("missing")])
+    client.start()
+    mini_cluster.sim.run(until=50.0)
+    assert client.ops_completed == 1
+    assert client.stamp is None
+
+
+def test_update_latency_recorded(mini_cluster):
+    client = make_client(mini_cluster, [UpdateOp("k", 8)])
+    client.start()
+    mini_cluster.sim.run(until=50.0)
+    latencies = mini_cluster.metrics.ops.latencies("update")
+    assert len(latencies) == 1
+    assert latencies[0] > 0

@@ -1,0 +1,251 @@
+"""Unit tests for the remote proxy: Saturn-order application, timestamp
+fallback, migrations, watermarks, and epoch transitions."""
+
+import pytest
+
+from repro.core.label import Label, LabelType
+from repro.datacenter.messages import BulkHeartbeat, LabelBatch, RemotePayload
+
+from conftest import MiniCluster
+
+
+def update(ts, origin="I", key="k", src_gear="g0"):
+    return Label(LabelType.UPDATE, src=f"{origin}/{src_gear}", ts=ts,
+                 target=key, origin_dc=origin)
+
+
+def payload(label, size=8, created_at=0.0):
+    return RemotePayload(label=label, key=label.target, value_size=size,
+                         created_at=created_at)
+
+
+def proxy_of(cluster, dc="F"):
+    return cluster.dcs[dc].proxy
+
+
+def deliver_labels(cluster, dc, labels, epoch=0):
+    proxy_of(cluster, dc).on_labels(LabelBatch(tuple(labels), epoch=epoch))
+
+
+def test_update_waits_for_payload():
+    cluster = MiniCluster()
+    proxy = proxy_of(cluster)
+    label = update(1.0)
+    deliver_labels(cluster, "F", [label])
+    cluster.sim.run(until=5.0)
+    assert proxy.updates_applied == 0
+    proxy.on_payload(payload(label))
+    cluster.sim.run(until=10.0)
+    assert proxy.updates_applied == 1
+    assert cluster.dcs["F"].store.get("k") is not None
+
+
+def test_payload_waits_for_label():
+    cluster = MiniCluster()
+    proxy = proxy_of(cluster)
+    label = update(1.0)
+    proxy.on_payload(payload(label))
+    cluster.sim.run(until=5.0)
+    assert proxy.updates_applied == 0
+    deliver_labels(cluster, "F", [label])
+    cluster.sim.run(until=10.0)
+    assert proxy.updates_applied == 1
+
+
+def test_visibility_follows_label_order_across_partitions():
+    cluster = MiniCluster()
+    proxy = proxy_of(cluster)
+    visible = []
+    cluster.dcs["F"].on_remote_visible = lambda p: visible.append(p.label.ts)
+    labels = [update(float(i), key=f"k{i}") for i in range(1, 6)]
+    deliver_labels(cluster, "F", labels)
+    for l in reversed(labels):  # payloads arrive in reverse
+        proxy.on_payload(payload(l))
+    cluster.sim.run(until=10.0)
+    assert visible == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_migration_waits_for_all_prior_labels():
+    cluster = MiniCluster()
+    proxy = proxy_of(cluster)
+    u = update(1.0)
+    migration = Label(LabelType.MIGRATION, src="I/g0", ts=2.0, target="F",
+                      origin_dc="I")
+    deliver_labels(cluster, "F", [u, migration])
+    cluster.sim.run(until=5.0)
+    assert not proxy.migration_processed(migration)  # u's payload missing
+    proxy.on_payload(payload(u))
+    cluster.sim.run(until=10.0)
+    assert proxy.migration_processed(migration)
+
+
+def test_heartbeat_label_advances_watermark():
+    cluster = MiniCluster()
+    proxy = proxy_of(cluster)
+    heartbeat = Label(LabelType.HEARTBEAT, src="I/sink", ts=7.0,
+                      origin_dc="I")
+    deliver_labels(cluster, "F", [heartbeat])
+    cluster.sim.run(until=1.0)
+    assert proxy.applied_ts["I"] == 7.0
+
+
+def test_update_stable_requires_all_origins():
+    cluster = MiniCluster()
+    proxy = proxy_of(cluster)
+    label = update(5.0, origin="I")
+    deliver_labels(cluster, "F", [
+        Label(LabelType.HEARTBEAT, src="I/sink", ts=9.0, origin_dc="I")])
+    cluster.sim.run(until=1.0)
+    assert not proxy.update_stable(label)  # T has not reached 5.0 yet
+    deliver_labels(cluster, "F", [
+        Label(LabelType.HEARTBEAT, src="T/sink", ts=9.0, origin_dc="T")])
+    cluster.sim.run(until=2.0)
+    assert proxy.update_stable(label)
+
+
+def test_wait_for_immediate_and_deferred():
+    cluster = MiniCluster()
+    proxy = proxy_of(cluster)
+    fired = []
+    proxy.wait_for(lambda: True, lambda: fired.append("now"))
+    assert fired == ["now"]
+    flag = []
+    proxy.wait_for(lambda: bool(flag), lambda: fired.append("later"))
+    flag.append(1)
+    heartbeat = Label(LabelType.HEARTBEAT, src="I/sink", ts=1.0,
+                      origin_dc="I")
+    deliver_labels(cluster, "F", [heartbeat])
+    cluster.sim.run(until=1.0)
+    assert fired == ["now", "later"]
+
+
+# -- timestamp mode (P-configuration / fallback) -------------------------------
+
+
+def test_timestamp_mode_applies_only_when_stable():
+    cluster = MiniCluster(consistency="timestamp")
+    proxy = proxy_of(cluster)
+    label = update(5.0, origin="I")
+    proxy.on_payload(payload(label))
+    proxy.on_heartbeat(BulkHeartbeat(origin_dc="I", ts=10.0))
+    cluster.sim.run(until=5.0)
+    assert proxy.updates_applied == 0  # T's cut still unknown
+    proxy.on_heartbeat(BulkHeartbeat(origin_dc="T", ts=10.0))
+    cluster.sim.run(until=10.0)
+    assert proxy.updates_applied == 1
+    assert proxy._ts_watermark == 10.0
+
+
+def test_timestamp_mode_applies_in_ts_order():
+    cluster = MiniCluster(consistency="timestamp")
+    proxy = proxy_of(cluster)
+    visible = []
+    cluster.dcs["F"].on_remote_visible = lambda p: visible.append(p.label.ts)
+    for ts in (3.0, 1.0, 2.0):
+        proxy.on_payload(payload(update(ts, key=f"k{ts}")))
+    proxy.on_heartbeat(BulkHeartbeat(origin_dc="I", ts=10.0))
+    proxy.on_heartbeat(BulkHeartbeat(origin_dc="T", ts=10.0))
+    cluster.sim.run(until=10.0)
+    assert visible == [1.0, 2.0, 3.0]
+
+
+def test_fallback_moves_pending_payloads_to_ts_path():
+    cluster = MiniCluster()
+    proxy = proxy_of(cluster)
+    label = update(5.0, origin="I")
+    proxy.on_payload(payload(label))  # label never arrives (outage)
+    proxy.enter_fallback()
+    proxy.on_heartbeat(BulkHeartbeat(origin_dc="I", ts=10.0))
+    proxy.on_heartbeat(BulkHeartbeat(origin_dc="T", ts=10.0))
+    cluster.sim.run(until=10.0)
+    assert proxy.updates_applied == 1
+
+
+def test_fallback_is_idempotent():
+    cluster = MiniCluster()
+    proxy = proxy_of(cluster)
+    proxy.enter_fallback()
+    proxy.enter_fallback()
+    assert proxy._in_timestamp_mode()
+
+
+def test_duplicate_label_after_fallback_application_skipped():
+    cluster = MiniCluster()
+    proxy = proxy_of(cluster)
+    label = update(5.0, origin="I")
+    proxy.on_payload(payload(label))
+    proxy.enter_fallback()
+    proxy.on_heartbeat(BulkHeartbeat(origin_dc="I", ts=10.0))
+    proxy.on_heartbeat(BulkHeartbeat(origin_dc="T", ts=10.0))
+    cluster.sim.run(until=10.0)
+    assert proxy.updates_applied == 1
+    # recovery replays the same label through a later Saturn stream
+    proxy._emergency = False
+    deliver_labels(cluster, "F", [label])
+    cluster.sim.run(until=20.0)
+    assert proxy.updates_applied == 1  # not applied twice
+
+
+# -- epoch transitions ---------------------------------------------------------
+
+
+def test_future_epoch_batches_are_buffered():
+    cluster = MiniCluster()
+    proxy = proxy_of(cluster)
+    label = update(1.0)
+    deliver_labels(cluster, "F", [label], epoch=1)
+    proxy.on_payload(payload(label))
+    cluster.sim.run(until=5.0)
+    assert proxy.updates_applied == 0
+    assert proxy._epoch_buffers[1] == [label]
+
+
+def test_fast_transition_requires_all_marks():
+    cluster = MiniCluster()
+    proxy = proxy_of(cluster)
+    proxy.begin_transition(1)
+    mark_i = Label(LabelType.EPOCH_CHANGE, src="I/sink", ts=1.0, target="1",
+                   origin_dc="I")
+    deliver_labels(cluster, "F", [mark_i])
+    cluster.sim.run(until=1.0)
+    assert proxy.current_epoch == 0
+    mark_t = Label(LabelType.EPOCH_CHANGE, src="T/sink", ts=1.0, target="1",
+                   origin_dc="T")
+    deliver_labels(cluster, "F", [mark_t])
+    cluster.sim.run(until=2.0)
+    assert proxy.current_epoch == 1
+    assert len(proxy.reconfiguration_times) == 1
+
+
+def test_buffered_labels_processed_after_transition():
+    cluster = MiniCluster()
+    proxy = proxy_of(cluster)
+    new_label = update(9.0)
+    deliver_labels(cluster, "F", [new_label], epoch=1)
+    proxy.on_payload(payload(new_label))
+    proxy.begin_transition(1)
+    for origin in ("I", "T"):
+        mark = Label(LabelType.EPOCH_CHANGE, src=f"{origin}/sink", ts=1.0,
+                     target="1", origin_dc=origin)
+        deliver_labels(cluster, "F", [mark])
+    cluster.sim.run(until=5.0)
+    assert proxy.current_epoch == 1
+    assert proxy.updates_applied == 1
+
+
+def test_emergency_transition_adopts_after_ts_stability():
+    cluster = MiniCluster()
+    proxy = proxy_of(cluster)
+    c2_label = update(5.0, origin="I")
+    deliver_labels(cluster, "F", [c2_label], epoch=1)
+    proxy.begin_transition(1, emergency=True)
+    assert proxy._in_timestamp_mode()
+    proxy.on_heartbeat(BulkHeartbeat(origin_dc="I", ts=10.0))
+    proxy.on_heartbeat(BulkHeartbeat(origin_dc="T", ts=10.0))
+    cluster.sim.run(until=5.0)
+    assert proxy.current_epoch == 1
+    assert not proxy._in_timestamp_mode()
+    # the buffered C2 update now only needs its payload
+    proxy.on_payload(payload(c2_label))
+    cluster.sim.run(until=10.0)
+    assert proxy.updates_applied == 1

@@ -1,0 +1,56 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import EXPERIMENTS, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4" in out
+    assert "saturn" in out
+    assert "cops" in out
+
+
+def test_every_experiment_registered():
+    expected = {"fig1a", "fig1b", "fig4", "fig5", "fig6", "fig7", "fig8",
+                "reconfiguration"}
+    assert expected <= set(EXPERIMENTS)
+
+
+def test_run_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "fig99"])
+
+
+def test_run_experiment_smoke(capsys, tmp_path):
+    out_file = tmp_path / "result.json"
+    assert main(["run", "ablation-artificial-delays", "--scale", "smoke",
+                 "--json", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "ablation-artificial-delays" in out
+    payload = json.loads(out_file.read_text())
+    assert "rows" in payload
+
+
+def test_bench_command(capsys):
+    assert main(["bench", "--system", "eventual", "--duration", "400",
+                 "--clients", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+    assert "visibility mean" in out
+
+
+def test_bench_rejects_unknown_system():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["bench", "--system", "spanner"])
+
+
+def test_configure_command(capsys):
+    assert main(["configure", "--beam-width", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "score" in out
+    assert "edges" in out

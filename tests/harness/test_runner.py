@@ -1,0 +1,96 @@
+"""Cluster runner: construction and short runs for every system."""
+
+import pytest
+
+from repro.core.tree import TreeTopology
+from repro.harness.runner import SYSTEMS, Cluster, ClusterConfig
+from repro.harness.report import PaperComparison, format_cdf_summary, format_table
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def small_config(system, **overrides):
+    return ClusterConfig(system=system, sites=("I", "F", "T"),
+                         clients_per_dc=2, **overrides)
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(ValueError):
+        ClusterConfig(system="paxos")
+
+
+def test_warmup_must_precede_duration():
+    cluster = Cluster(small_config("eventual"), SyntheticWorkload())
+    with pytest.raises(ValueError):
+        cluster.run(duration=100.0, warmup=100.0)
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_every_system_builds_and_completes_ops(system):
+    workload = SyntheticWorkload(correlation="full")
+    cluster = Cluster(small_config(system), workload)
+    results = cluster.run(duration=300.0, warmup=50.0)
+    assert results.ops_completed > 0
+    assert results.throughput > 0
+    assert results.duration == 300.0
+
+
+def test_saturn_default_topology_is_star_on_first_site():
+    cluster = Cluster(small_config("saturn"), SyntheticWorkload())
+    topology = cluster.service.topology()
+    assert set(topology.serializer_sites.values()) == {"I"}
+
+
+def test_saturn_custom_topology_used():
+    topo = TreeTopology.star("T", {"I": "I", "F": "F", "T": "T"})
+    cluster = Cluster(small_config("saturn", saturn_topology=topo),
+                      SyntheticWorkload())
+    assert set(cluster.service.topology().serializer_sites.values()) == {"T"}
+
+
+def test_replication_override():
+    from repro.core.replication import ReplicationMap
+    replication = ReplicationMap(["I", "F", "T"])
+    for site in ("I", "F", "T"):
+        replication.set_group(f"g{site}.0", [site])
+    cluster = Cluster(small_config("eventual", replication=replication),
+                      SyntheticWorkload())
+    assert cluster.replication is replication
+
+
+def test_clients_placed_at_their_sites():
+    cluster = Cluster(small_config("eventual"), SyntheticWorkload())
+    assert len(cluster.clients) == 6
+    for client in cluster.clients:
+        assert cluster.network.site_of(client.name) == client.home_dc
+
+
+def test_visibility_recorded_during_run():
+    workload = SyntheticWorkload(correlation="full", read_ratio=0.5)
+    cluster = Cluster(small_config("eventual"), workload)
+    results = cluster.run(duration=300.0, warmup=50.0)
+    assert results.visibility.count() > 0
+    assert results.mean_visibility() > 0
+
+
+# -- report helpers --------------------------------------------------------------
+
+def test_format_table():
+    text = format_table(["x", "value"], [["a", 1.234], ["bb", 10.0]],
+                        title="T")
+    assert "T" in text
+    assert "1.2" in text
+    assert "bb" in text
+
+
+def test_format_cdf_summary():
+    text = format_cdf_summary("pair", [1.0, 2.0, 3.0])
+    assert "mean=2.0ms" in text
+    assert "p90" in text
+    assert format_cdf_summary("empty", []) == "empty: (no samples)"
+
+
+def test_paper_comparison():
+    comparison = PaperComparison("fig-x")
+    comparison.add("metric", "2%", 2.5, "ok")
+    text = str(comparison)
+    assert "fig-x" in text and "2.5" in text

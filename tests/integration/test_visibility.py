@@ -1,0 +1,86 @@
+"""Visibility-latency shape assertions: who waits for what.
+
+These encode the paper's qualitative claims (§7.3.1/§7.3.3):
+
+* eventual consistency is the lower bound (bulk latency);
+* Saturn with a good tree tracks the lower bound closely;
+* the P-configuration and GentleRain pay the *longest* network travel time;
+* Cure pays the origin->destination latency plus stabilization.
+"""
+
+import pytest
+
+from repro.core.tree import TreeTopology
+from repro.harness.runner import Cluster, ClusterConfig
+from repro.workloads.synthetic import SyntheticWorkload
+
+SITES = ("I", "F", "T")  # I-F: 10ms, I-T: 107ms, F-T: 118ms (Table 1)
+
+
+def run(system, **overrides):
+    workload = SyntheticWorkload(correlation="full", read_ratio=0.8,
+                                 keys_per_group=8, groups_per_dc=2)
+    cluster = Cluster(ClusterConfig(system=system, sites=SITES,
+                                    clients_per_dc=4, **overrides), workload)
+    return cluster.run(duration=800.0, warmup=200.0)
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {"eventual": run("eventual"),
+           "saturn-ts": run("saturn-ts"),
+           "gentlerain": run("gentlerain"),
+           "cure": run("cure")}
+    tree = TreeTopology(
+        serializer_sites={"s0": "I", "s1": "F", "s2": "T"},
+        edges=[("s0", "s1"), ("s1", "s2")],
+        attachments={"I": "s0", "F": "s1", "T": "s2"})
+    out["saturn"] = run("saturn", saturn_topology=tree)
+    return out
+
+
+def test_eventual_visibility_tracks_link_latency(results):
+    vis = results["eventual"].visibility
+    assert 10.0 <= vis.mean("I", "F") <= 25.0
+    assert 107.0 <= vis.mean("I", "T") <= 125.0
+
+
+def test_saturn_close_to_optimal(results):
+    saturn = results["saturn"].visibility
+    optimal = results["eventual"].visibility
+    # near-optimal on the short link (the paper: a few ms of extra delay)
+    assert saturn.mean("I", "F") <= optimal.mean("I", "F") + 10.0
+    assert saturn.mean() <= optimal.mean() + 15.0
+
+
+def test_p_configuration_pays_longest_travel_time(results):
+    """Timestamp stability needs every datacenter's cut: ~max latency."""
+    ts_mode = results["saturn-ts"].visibility
+    assert ts_mode.mean("I", "F") >= 100.0  # far above the 10 ms link
+
+
+def test_gentlerain_pays_furthest_dc(results):
+    gentlerain = results["gentlerain"].visibility
+    assert gentlerain.mean("I", "F") >= 100.0
+    # and is insensitive to the origin's proximity
+    spread = abs(gentlerain.mean("I", "F") - gentlerain.mean("F", "I"))
+    assert spread <= 30.0
+
+
+def test_cure_visibility_tracks_origin_latency(results):
+    cure = results["cure"].visibility
+    assert cure.mean("I", "F") <= 40.0          # 10 ms link + stabilization
+    assert 100.0 <= cure.mean("I", "T") <= 140.0
+
+
+def test_ordering_of_systems_on_short_link(results):
+    short = {name: res.visibility.mean("I", "F")
+             for name, res in results.items()}
+    assert short["eventual"] <= short["saturn"]
+    assert short["saturn"] < short["gentlerain"]
+    assert short["cure"] < short["gentlerain"]
+
+
+def test_saturn_beats_gentlerain_on_average(results):
+    assert (results["saturn"].visibility.mean()
+            < results["gentlerain"].visibility.mean())

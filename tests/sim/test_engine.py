@@ -1,0 +1,121 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_time_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_schedule_and_run_advances_time(sim):
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [5.0]
+    assert sim.now == 5.0
+
+
+def test_events_run_in_chronological_order(sim):
+    order = []
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_run_fifo(sim):
+    order = []
+    for i in range(10):
+        sim.schedule(1.0, lambda i=i: order.append(i))
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_schedule_at_absolute_time(sim):
+    fired = []
+    sim.schedule_at(4.5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [4.5]
+
+
+def test_schedule_negative_delay_raises(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_raises(sim):
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire(sim):
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(1))
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_run_until_stops_before_later_events(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(10.0, lambda: fired.append(2))
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_run_until_advances_time_even_without_events(sim):
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_max_events_limit(sim):
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+    sim.run(max_events=2)
+    assert fired == [0, 1]
+
+
+def test_events_scheduled_during_run_execute(sim):
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(1.0, lambda: fired.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert fired == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_events_executed_counter(sim):
+    for i in range(3):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_executed == 3
+
+
+def test_pending_excludes_cancelled(sim):
+    keep = sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(2.0, lambda: None)
+    drop.cancel()
+    assert sim.pending() == 1
+    keep.cancel()
+    assert sim.pending() == 0
+
+
+def test_zero_delay_runs_at_current_time(sim):
+    sim.schedule(5.0, lambda: sim.schedule(0.0, lambda: times.append(sim.now)))
+    times = []
+    sim.run()
+    assert times == [5.0]

@@ -1,0 +1,178 @@
+"""Unit tests for the simulated network (FIFO links, latency, faults)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.network import LatencyModel, Network
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+
+
+class Recorder(Process):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def receive(self, sender, message):
+        self.received.append((self.sim.now, sender, message))
+
+
+def make_net(sim, jitter=0.0, model=None):
+    return Network(sim, latency_model=model, default_latency=1.0,
+                   jitter=jitter, rng=RngRegistry(seed=3))
+
+
+def test_basic_delivery_with_latency(sim):
+    net = make_net(sim)
+    a, b = Recorder(sim, "a"), Recorder(sim, "b")
+    a.attach_network(net)
+    b.attach_network(net)
+    a.send("b", "hello")
+    sim.run()
+    assert b.received == [(1.0, "a", "hello")]
+
+
+def test_duplicate_process_name_rejected(sim):
+    net = make_net(sim)
+    Recorder(sim, "a").attach_network(net)
+    with pytest.raises(ValueError):
+        Recorder(sim, "a").attach_network(net)
+
+
+def test_unknown_destination_raises(sim):
+    net = make_net(sim)
+    a = Recorder(sim, "a")
+    a.attach_network(net)
+    with pytest.raises(KeyError):
+        a.send("ghost", "boo")
+
+
+def test_fifo_order_with_jitter(sim):
+    """Even with jitter, a later message never overtakes an earlier one."""
+    net = make_net(sim, jitter=5.0)
+    a, b = Recorder(sim, "a"), Recorder(sim, "b")
+    a.attach_network(net)
+    b.attach_network(net)
+    for i in range(50):
+        a.send("b", i)
+    sim.run()
+    assert [m for _, _, m in b.received] == list(range(50))
+    times = [t for t, _, _ in b.received]
+    assert times == sorted(times)
+
+
+def test_latency_model_sites(sim):
+    model = LatencyModel(local_latency=0.5)
+    model.set("X", "Y", 30.0)
+    net = Network(sim, latency_model=model, rng=RngRegistry(seed=1))
+    a, b, c = Recorder(sim, "a"), Recorder(sim, "b"), Recorder(sim, "c")
+    for p in (a, b, c):
+        p.attach_network(net)
+    net.place("a", "X")
+    net.place("b", "Y")
+    net.place("c", "X")
+    a.send("b", "far")
+    a.send("c", "near")
+    sim.run()
+    assert b.received[0][0] == 30.0
+    assert c.received[0][0] == 0.5  # intra-site
+
+
+def test_latency_model_symmetric():
+    model = LatencyModel()
+    model.set("X", "Y", 12.0)
+    assert model.get("Y", "X") == 12.0
+    assert model.get("X", "X") == model.local_latency
+
+
+def test_latency_model_unknown_pair_raises():
+    model = LatencyModel()
+    with pytest.raises(KeyError):
+        model.get("X", "Y")
+
+
+def test_latency_model_rejects_negative():
+    model = LatencyModel()
+    with pytest.raises(ValueError):
+        model.set("X", "Y", -1.0)
+
+
+def test_latency_model_from_matrix():
+    model = LatencyModel.from_matrix(["A", "B"], [[0, 7], [7, 0]])
+    assert model.get("A", "B") == 7.0
+    assert model.sites() == {"A", "B"}
+
+
+def test_partition_drops_messages(sim):
+    net = make_net(sim)
+    a, b = Recorder(sim, "a"), Recorder(sim, "b")
+    a.attach_network(net)
+    b.attach_network(net)
+    net.partition("a", "b")
+    a.send("b", "lost")
+    sim.run()
+    assert b.received == []
+    net.heal("a", "b")
+    a.send("b", "found")
+    sim.run()
+    assert [m for _, _, m in b.received] == ["found"]
+
+
+def test_extra_delay_injection(sim):
+    net = make_net(sim)
+    a, b = Recorder(sim, "a"), Recorder(sim, "b")
+    a.attach_network(net)
+    b.attach_network(net)
+    net.inject_extra_delay("a", "b", 9.0)
+    a.send("b", "slow")
+    sim.run()
+    assert b.received[0][0] == 10.0  # 1 base + 9 injected
+
+
+def test_site_delay_injection(sim):
+    model = LatencyModel()
+    model.set("X", "Y", 10.0)
+    net = Network(sim, latency_model=model, rng=RngRegistry(seed=1))
+    a, b = Recorder(sim, "a"), Recorder(sim, "b")
+    a.attach_network(net)
+    b.attach_network(net)
+    net.place("a", "X")
+    net.place("b", "Y")
+    net.inject_site_delay("X", "Y", 25.0)
+    a.send("b", "m")
+    sim.run()
+    assert b.received[0][0] == 35.0
+
+
+def test_crashed_process_drops_incoming(sim):
+    net = make_net(sim)
+    a, b = Recorder(sim, "a"), Recorder(sim, "b")
+    a.attach_network(net)
+    b.attach_network(net)
+    b.crash()
+    a.send("b", "void")
+    sim.run()
+    assert b.received == []
+
+
+def test_crashed_process_cannot_send(sim):
+    net = make_net(sim)
+    a, b = Recorder(sim, "a"), Recorder(sim, "b")
+    a.attach_network(net)
+    b.attach_network(net)
+    a.crash()
+    a.send("b", "void")
+    sim.run()
+    assert b.received == []
+
+
+def test_message_and_byte_accounting(sim):
+    net = make_net(sim)
+    a, b = Recorder(sim, "a"), Recorder(sim, "b")
+    a.attach_network(net)
+    b.attach_network(net)
+    net.send("a", "b", "x", size_bytes=128)
+    net.send("a", "b", "y", size_bytes=64)
+    sim.run()
+    assert net.messages_sent == 2
+    assert net.bytes_sent == 192

@@ -1,0 +1,124 @@
+"""The offline causal-consistency checker itself."""
+
+from repro.core.label import Label, LabelType
+from repro.core.replication import ReplicationMap
+from repro.verify.checker import ExecutionLog
+
+
+def label(ts, origin, key="k"):
+    return Label(LabelType.UPDATE, src=f"{origin}/g0", ts=ts, target=key,
+                 origin_dc=origin)
+
+
+def make_log(replication=None):
+    return ExecutionLog(replication or ReplicationMap(["A", "B"]))
+
+
+def test_clean_history_passes():
+    log = make_log()
+    a = label(1.0, "A")
+    b = label(2.0, "B")
+    log.record_update(a, "A", 1.0)
+    log.record_visible(a, "B", 10.0)
+    log.record_update(b, "B", 11.0)
+    log.record_update_deps((2.0, "B/g0"), frozenset({(1.0, "A/g0")}))
+    log.record_visible(b, "A", 20.0)
+    assert log.check() == []
+
+
+def test_detects_causal_order_violation():
+    a = label(1.0, "A")
+    b = label(2.0, "B")
+    # at C the dependent update surfaces before its dependency
+    log3 = make_log(ReplicationMap(["A", "B", "C"]))
+    log3.record_update(a, "A", 1.0)
+    log3.record_visible(a, "B", 5.0)   # a was visible at B before b issued
+    log3.record_update(b, "B", 11.0)
+    log3.record_update_deps((2.0, "B/g0"), frozenset({(1.0, "A/g0")}))
+    log3.record_visible(b, "C", 20.0)   # b before a at C
+    log3.record_visible(a, "C", 25.0)
+    violations = [v for v in log3.check() if v.kind == "causal-order"]
+    assert len(violations) == 1
+    assert violations[0].dc == "C"
+
+
+def test_missing_dependency_is_violation_when_replicated():
+    log = make_log()
+    a = label(1.0, "A")
+    b = label(2.0, "B")
+    log.record_update(a, "A", 1.0)
+    log.record_update(b, "B", 11.0)
+    log.record_update_deps((2.0, "B/g0"), frozenset({(1.0, "A/g0")}))
+    log.record_visible(b, "A", 5.0)  # fine: a is local at A
+    log2 = make_log(ReplicationMap(["A", "B", "C"]))
+    log2.record_update(a, "A", 1.0)
+    log2.record_visible(a, "B", 5.0)
+    log2.record_update(b, "B", 11.0)
+    log2.record_update_deps((2.0, "B/g0"), frozenset({(1.0, "A/g0")}))
+    log2.record_visible(b, "C", 15.0)  # a never visible at C
+    violations = [v for v in log2.check() if v.kind == "causal-order"]
+    assert len(violations) == 1
+
+
+def test_partial_replication_exemption():
+    """A dependency on an item the datacenter does not replicate is not a
+    violation (genuine partial replication, §2)."""
+    replication = ReplicationMap(["A", "B", "C"])
+    replication.set_group("gab", ["A", "B"])
+    log = make_log(replication)
+    a = label(1.0, "A", key="gab:0")   # only replicated at A, B
+    b = label(2.0, "B", key="other")
+    log.record_update(a, "A", 1.0)
+    log.record_visible(a, "B", 5.0)
+    log.record_update(b, "B", 11.0)
+    log.record_update_deps((2.0, "B/g0"), frozenset({(1.0, "A/g0")}))
+    log.record_visible(b, "C", 20.0)   # a never goes to C: exempt
+    assert [v for v in log.check() if v.kind == "causal-order"] == []
+
+
+def test_session_monotonicity_violation():
+    log = make_log()
+    log.record_read("c1", "A", "k", returned=(1.0, "A/g0"),
+                    observed_max=(2.0, "B/g0"))
+    violations = [v for v in log.check()
+                  if v.kind == "session-monotonicity"]
+    assert len(violations) == 1
+    assert "c1" in violations[0].detail
+
+
+def test_session_read_of_nothing_after_observation_is_violation():
+    log = make_log()
+    log.record_read("c1", "A", "k", returned=None,
+                    observed_max=(2.0, "B/g0"))
+    assert any(v.kind == "session-monotonicity" for v in log.check())
+
+
+def test_session_clean_reads_pass():
+    log = make_log()
+    log.record_read("c1", "A", "k", returned=(3.0, "B/g0"),
+                    observed_max=(2.0, "B/g0"))
+    log.record_read("c1", "A", "k", returned=(3.0, "B/g0"),
+                    observed_max=(3.0, "B/g0"))
+    log.record_read("c2", "A", "k", returned=None, observed_max=None)
+    assert log.check() == []
+
+
+def test_deps_recorded_before_update_hook():
+    """Client replies can race ahead of the datacenter's record_update."""
+    log = make_log()
+    log.record_update_deps((2.0, "B/g0"), frozenset())
+    b = label(2.0, "B")
+    log.record_update(b, "B", 11.0)
+    record = log.updates[(2.0, "B/g0")]
+    assert record.origin in ("", "B")  # stub kept, no crash
+    assert log.check() == []
+
+
+def test_visible_counts():
+    log = make_log()
+    a = label(1.0, "A")
+    log.record_update(a, "A", 1.0)
+    log.record_visible(a, "B", 5.0)
+    log.record_visible(a, "B", 6.0)  # duplicate ignored
+    assert log.visible_counts() == {"A": 1, "B": 1}
+    assert log.read_count() == 0

@@ -1,0 +1,79 @@
+"""Correlation patterns for replica placement (§7.3.2)."""
+
+import pytest
+
+from repro.config.latencies import EC2_REGIONS, ec2_latency
+from repro.sim.rng import RngRegistry
+from repro.workloads.correlation import CORRELATION_PATTERNS, build_replication
+
+
+def build(pattern, **kwargs):
+    return build_replication(EC2_REGIONS, pattern, ec2_latency,
+                             RngRegistry(seed=3), **kwargs)
+
+
+def test_unknown_pattern_rejected():
+    with pytest.raises(ValueError):
+        build("banana")
+
+
+def test_full_pattern_replicates_everywhere():
+    replication = build("full")
+    assert replication.average_replication_degree() == len(EC2_REGIONS)
+
+
+def test_degree_pattern_exact_degree():
+    for degree in (2, 3, 5):
+        replication = build("degree", degree=degree)
+        assert replication.average_replication_degree() == pytest.approx(degree)
+
+
+def test_degree_pattern_requires_degree():
+    with pytest.raises(ValueError):
+        build("degree")
+
+
+def test_degree_pattern_picks_nearest():
+    replication = build("degree", degree=2)
+    # Ireland's nearest region is Frankfurt (10 ms)
+    for group in replication.groups_at("I"):
+        replicas = replication.replicas_of_group(group)
+        if "I" in replicas and len(replicas) == 2 and group.startswith("gI"):
+            assert replicas == frozenset({"I", "F"})
+
+
+def test_exponential_more_partial_than_proportional():
+    exponential = build("exponential", groups_per_dc=16)
+    proportional = build("proportional", groups_per_dc=16)
+    assert (exponential.average_replication_degree()
+            < proportional.average_replication_degree())
+
+
+def test_every_group_contains_home():
+    replication = build("exponential")
+    for home in EC2_REGIONS:
+        for group in replication.groups():
+            if group.startswith(f"g{home}."):
+                assert home in replication.replicas_of_group(group)
+
+
+def test_groups_per_dc():
+    replication = build("uniform", groups_per_dc=5)
+    assert len(replication.groups()) == 5 * len(EC2_REGIONS)
+
+
+def test_min_degree_enforced():
+    replication = build("exponential", groups_per_dc=8, min_degree=2)
+    for group, replicas in replication.groups().items():
+        assert len(replicas) >= 2
+
+
+def test_deterministic_given_seed():
+    a = build("uniform", groups_per_dc=4).groups()
+    b = build("uniform", groups_per_dc=4).groups()
+    assert a == b
+
+
+def test_patterns_tuple_contents():
+    assert set(CORRELATION_PATTERNS) == {
+        "exponential", "proportional", "uniform", "full", "degree"}

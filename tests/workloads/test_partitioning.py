@@ -1,0 +1,101 @@
+"""SPAR-like bounded partitioning (§7.4 / [46])."""
+
+import pytest
+
+from repro.config.latencies import EC2_REGIONS, ec2_latency
+from repro.sim.rng import RngRegistry
+from repro.workloads.facebook import generate_social_graph
+from repro.workloads.partitioning import (assign_masters,
+                                          build_social_replication,
+                                          user_group)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_social_graph(400, 6, RngRegistry(seed=11))
+
+
+def test_assign_masters_covers_all_users(graph):
+    masters = assign_masters(graph, EC2_REGIONS)
+    assert set(masters) == set(graph)
+    assert set(masters.values()) <= set(EC2_REGIONS)
+
+
+def test_assign_masters_requires_dcs(graph):
+    with pytest.raises(ValueError):
+        assign_masters(graph, [])
+
+
+def test_assign_masters_balance(graph):
+    masters = assign_masters(graph, EC2_REGIONS, balance_slack=1.10)
+    loads = {}
+    for master in masters.values():
+        loads[master] = loads.get(master, 0) + 1
+    cap = int(len(graph) / len(EC2_REGIONS) * 1.10) + 1
+    assert max(loads.values()) <= cap
+
+
+def test_locality_beats_random(graph):
+    """The greedy partitioner keeps more friendships intra-datacenter than
+    round-robin placement."""
+    masters = assign_masters(graph, EC2_REGIONS)
+    rr = {user: EC2_REGIONS[i % len(EC2_REGIONS)]
+          for i, user in enumerate(sorted(graph))}
+
+    def local_edges(assignment):
+        return sum(1 for u, friends in graph.items()
+                   for f in friends if assignment[u] == assignment[f]) / 2
+
+    assert local_edges(masters) > 1.5 * local_edges(rr)
+
+
+def test_replication_bounds(graph):
+    masters = assign_masters(graph, EC2_REGIONS)
+    replication = build_social_replication(graph, masters, EC2_REGIONS,
+                                           ec2_latency, min_replicas=2,
+                                           max_replicas=4)
+    for replicas in replication.groups().values():
+        assert 2 <= len(replicas) <= 4
+
+
+def test_replication_bound_validation(graph):
+    masters = assign_masters(graph, EC2_REGIONS)
+    with pytest.raises(ValueError):
+        build_social_replication(graph, masters, EC2_REGIONS, ec2_latency,
+                                 min_replicas=0)
+    with pytest.raises(ValueError):
+        build_social_replication(graph, masters, EC2_REGIONS, ec2_latency,
+                                 min_replicas=3, max_replicas=2)
+
+
+def test_max_replicas_clamped_to_dc_count(graph):
+    masters = assign_masters(graph, EC2_REGIONS)
+    replication = build_social_replication(graph, masters, EC2_REGIONS,
+                                           ec2_latency, min_replicas=2,
+                                           max_replicas=99)
+    for replicas in replication.groups().values():
+        assert len(replicas) <= len(EC2_REGIONS)
+
+
+def test_replicas_prefer_friend_heavy_dcs(graph):
+    masters = assign_masters(graph, EC2_REGIONS)
+    replication = build_social_replication(graph, masters, EC2_REGIONS,
+                                           ec2_latency, min_replicas=2,
+                                           max_replicas=3)
+    # for well-connected users, replica sites should host friends
+    from collections import Counter
+    checked = 0
+    for user, friends in graph.items():
+        if len(friends) < 20:
+            continue
+        votes = Counter(masters[f] for f in friends)
+        top_dc, _ = votes.most_common(1)[0]
+        replicas = replication.replicas_of_group(user_group(user))
+        if top_dc != masters[user]:
+            assert top_dc in replicas
+            checked += 1
+    assert checked > 0
+
+
+def test_user_group_naming():
+    assert user_group(42) == "gu42"

@@ -1,0 +1,103 @@
+"""Synthetic workload generator (§7.3.2)."""
+
+import pytest
+
+from repro.config.latencies import ec2_latency
+from repro.sim.rng import RngRegistry
+from repro.workloads.ops import ReadOp, RemoteReadOp, UpdateOp
+from repro.workloads.synthetic import SyntheticWorkload
+
+SITES = ["I", "F", "T", "S"]
+
+
+def make_generator(workload, dc="I", seed=3):
+    rng = RngRegistry(seed=seed)
+    replication = workload.replication_map(SITES, ec2_latency, rng)
+    generator = workload.client_generator(dc, replication, rng, ec2_latency,
+                                          stream_name="client-test")
+    return generator, replication
+
+
+def sample_ops(generator, n=2000):
+    return [generator(None) for _ in range(n)]
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        SyntheticWorkload(read_ratio=1.5)
+    with pytest.raises(ValueError):
+        SyntheticWorkload(remote_read_fraction=-0.1)
+    with pytest.raises(ValueError):
+        SyntheticWorkload(value_size=-1)
+
+
+def test_read_write_ratio_approximate():
+    workload = SyntheticWorkload(read_ratio=0.9, correlation="full")
+    generator, _ = make_generator(workload)
+    ops = sample_ops(generator)
+    reads = sum(1 for op in ops if isinstance(op, ReadOp))
+    assert 0.85 <= reads / len(ops) <= 0.95
+
+
+def test_balanced_ratio():
+    workload = SyntheticWorkload(read_ratio=0.5, correlation="full")
+    generator, _ = make_generator(workload)
+    ops = sample_ops(generator)
+    writes = sum(1 for op in ops if isinstance(op, UpdateOp))
+    assert 0.45 <= writes / len(ops) <= 0.55
+
+
+def test_value_size_applied_to_updates():
+    workload = SyntheticWorkload(read_ratio=0.0, value_size=512,
+                                 correlation="full")
+    generator, _ = make_generator(workload)
+    for op in sample_ops(generator, 50):
+        assert isinstance(op, UpdateOp)
+        assert op.value_size == 512
+
+
+def test_no_remote_reads_under_full_replication():
+    workload = SyntheticWorkload(remote_read_fraction=0.5, correlation="full")
+    generator, _ = make_generator(workload)
+    assert not any(isinstance(op, RemoteReadOp)
+                   for op in sample_ops(generator))
+
+
+def test_remote_reads_generated_under_partial_replication():
+    workload = SyntheticWorkload(remote_read_fraction=0.4,
+                                 correlation="degree", degree=2)
+    generator, replication = make_generator(workload)
+    ops = sample_ops(generator)
+    remote = [op for op in ops if isinstance(op, RemoteReadOp)]
+    assert remote
+    for op in remote:
+        replicas = replication.replicas(op.key)
+        assert "I" not in replicas          # really not local
+        assert op.target_dc in replicas     # target actually has the data
+
+
+def test_remote_read_targets_nearest_replica():
+    workload = SyntheticWorkload(remote_read_fraction=1.0,
+                                 correlation="degree", degree=2)
+    generator, replication = make_generator(workload)
+    for op in sample_ops(generator, 500):
+        if isinstance(op, RemoteReadOp):
+            replicas = replication.replicas(op.key)
+            best = min(replicas, key=lambda dc: (ec2_latency("I", dc), dc))
+            assert op.target_dc == best
+
+
+def test_local_ops_touch_local_groups():
+    workload = SyntheticWorkload(correlation="degree", degree=2)
+    generator, replication = make_generator(workload, dc="T")
+    for op in sample_ops(generator, 500):
+        if isinstance(op, (ReadOp, UpdateOp)):
+            assert "T" in replication.replicas(op.key)
+
+
+def test_keyspace_bounded():
+    workload = SyntheticWorkload(correlation="full", keys_per_group=4,
+                                 groups_per_dc=2)
+    generator, _ = make_generator(workload)
+    keys = {op.key for op in sample_ops(generator)}
+    assert len(keys) <= 4 * 2 * len(SITES)
