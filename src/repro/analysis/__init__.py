@@ -1,0 +1,40 @@
+"""Correctness tooling for the Saturn reproduction.
+
+Two halves, both specific to this repository:
+
+* :mod:`repro.analysis.lint` — a custom AST lint (rules SAT001–SAT006)
+  that statically rejects the classes of bugs which would silently break
+  the deterministic simulator: wall-clock reads, unseeded randomness,
+  unordered set/dict iteration on scheduling or label-emission paths,
+  float-timestamp equality, mutable default arguments, and cross-process
+  state mutation.  Run it with ``python -m repro.analysis src/repro``.
+
+* :mod:`repro.analysis.runtime` — an opt-in dynamic checker that
+  instruments the simulation kernel and the network to assert per-link
+  FIFO delivery (Saturn's serializer channels *must* be FIFO, §5.3),
+  surface same-timestamp event ties, and cross-check label delivery
+  order against the offline causality checker.
+
+Determinism is load-bearing here: the paper's visibility-time claims are
+only testable if a seed reproduces the exact same execution, and the
+causal-order guarantee of the serializer tree collapses if any edge can
+reorder labels.
+"""
+
+from repro.analysis.lint import Finding, LintReport, lint_paths, lint_source
+from repro.analysis.rules import ALL_RULES, Rule
+from repro.analysis.runtime import (FifoViolation, HazardMonitor,
+                                    HazardReport, TieHazard)
+
+__all__ = [
+    "ALL_RULES",
+    "Rule",
+    "Finding",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
+    "HazardMonitor",
+    "HazardReport",
+    "FifoViolation",
+    "TieHazard",
+]

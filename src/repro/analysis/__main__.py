@@ -1,0 +1,66 @@
+"""CLI for the Saturn determinism lint.
+
+Examples::
+
+    python -m repro.analysis src/repro
+    python -m repro.analysis src/repro --json
+    python -m repro.analysis src/repro --select SAT001,SAT003
+    python -m repro.analysis --list-rules
+
+Exit status: 0 when no findings (or ``--list-rules``), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Set
+
+from repro.analysis.lint import lint_paths
+from repro.analysis.rules import ALL_RULES
+
+
+def _codes(value: str) -> Set[str]:
+    return {code.strip().upper() for code in value.split(",") if code.strip()}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism & causality lint for the Saturn reproduction")
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON report")
+    parser.add_argument("--select", type=_codes, default=None,
+                        metavar="CODES",
+                        help="comma-separated rule codes to enable")
+    parser.add_argument("--ignore", type=_codes, default=None,
+                        metavar="CODES",
+                        help="comma-separated rule codes to disable")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.title}")
+            print(f"        {rule.rationale}")
+        return 0
+
+    paths = args.paths or ["src/repro"]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        parser.error(f"no such file or directory: {missing}")
+    try:
+        report = lint_paths(paths, select=args.select, ignore=args.ignore)
+    except ValueError as exc:
+        parser.error(str(exc))
+    print(report.to_json() if args.json else report.format_human())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

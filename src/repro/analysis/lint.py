@@ -1,0 +1,504 @@
+"""AST lint enforcing the simulator's determinism contract (SAT001–SAT006).
+
+The checks are deliberately repository-specific: they know that simulation
+code must read time from the simulated clock, draw randomness from
+:class:`repro.sim.rng.RngRegistry` streams, and never let hash-ordered
+iteration decide the order in which events are scheduled or labels are
+emitted.  See :mod:`repro.analysis.rules` for the catalogue.
+
+Suppression: append ``# noqa`` (all rules) or ``# noqa: SAT003`` /
+``# noqa: SAT001, SAT004`` (specific rules) to the offending line.
+
+Use :func:`lint_paths` programmatically, or the CLI::
+
+    python -m repro.analysis src/repro [--json]
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.rules import RULES_BY_CODE
+
+__all__ = ["Finding", "LintReport", "lint_source", "lint_file", "lint_paths"]
+
+
+# -- what the rules pattern-match on ---------------------------------------
+
+#: wall-clock functions of the ``time`` module (SAT001)
+_WALL_CLOCK_TIME_FUNCS = {
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "clock",
+}
+
+#: wall-clock constructors of ``datetime`` / ``date`` (SAT001)
+_WALL_CLOCK_DATETIME_FUNCS = {"now", "utcnow", "today"}
+
+#: ``random`` module attributes that are *not* global-state draws (SAT002)
+_RANDOM_SAFE_ATTRS = {"Random", "SystemRandom"}
+
+#: repo functions/methods known to return sets (SAT003); iterating their
+#: result without sorted(...) is hash-order dependent
+_SET_RETURNING_NAMES = {
+    "interest_of",          # core.serializer
+    "replicas",             # core.replication.ReplicationMap
+    "replicas_of_group",    # core.replication.ReplicationMap
+    "reachable_dcs",        # core.tree.TreeTopology
+    "sites",                # sim.network.LatencyModel
+}
+
+#: consumers for which iteration order cannot affect the result (SAT003)
+_ORDER_INSENSITIVE_CONSUMERS = {
+    "sorted", "min", "max", "sum", "any", "all", "len", "set", "frozenset",
+}
+
+#: order-preserving materializers: list(a_set) bakes hash order in (SAT003)
+_ORDER_PRESERVING_MATERIALIZERS = {"list", "tuple"}
+
+#: identifiers that smell like float timestamps (SAT004)
+_TIMESTAMP_NAME_RE = re.compile(
+    r"(?:^|_)(?:ts|time|timestamp|now|deadline|arrival|at|watermark|"
+    r"visible|created|expiry)(?:_|$)"
+)
+
+#: constructors whose call as a default argument is still mutable (SAT005)
+_MUTABLE_FACTORIES = {
+    "list", "dict", "set", "defaultdict", "deque", "Counter",
+    "OrderedDict", "bytearray",
+}
+
+#: base classes that make a class an actor for SAT006
+_PROCESS_BASE_NAMES = {"Process"}
+
+_NOQA_RE = re.compile(
+    r"#\s*noqa\b(?::\s*(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*))?",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    file: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.file}:{self.line}:{self.col + 1} {self.code} {self.message}"
+
+
+@dataclass
+class LintReport:
+    """Aggregate result of linting a set of files."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def format_human(self) -> str:
+        lines = [finding.format() for finding in self.findings]
+        noun = "file" if self.files_checked == 1 else "files"
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.files_checked} {noun}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "findings": [
+                {"file": f.file, "line": f.line, "col": f.col,
+                 "code": f.code, "message": f.message}
+                for f in self.findings
+            ],
+        }, indent=2)
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    """Last identifier of a Name / dotted-attribute expression."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_set_producing(node: ast.expr) -> bool:
+    """Conservatively: does this expression evaluate to a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = _terminal_name(func)
+        if isinstance(func, ast.Name) and name in {"set", "frozenset"}:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr == "keys":
+            return True
+        if name in _SET_RETURNING_NAMES:
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+        return _is_set_producing(node.left) or _is_set_producing(node.right)
+    return False
+
+
+def _is_timestampish(node: ast.expr) -> bool:
+    name = _terminal_name(node)
+    return name is not None and bool(_TIMESTAMP_NAME_RE.search(name))
+
+
+def _is_float_constant(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+class _Visitor(ast.NodeVisitor):
+    """Single-pass collector for all six rules."""
+
+    def __init__(self, filename: str) -> None:
+        self.filename = filename
+        self.findings: List[Finding] = []
+        #: classes considered actors (SAT006), grown to an in-file fixpoint
+        self.process_classes: Set[str] = set()
+        #: stack of (class-or-None) so methods know their owner
+        self._class_stack: List[Optional[str]] = []
+        #: stack of parameter-name sets for enclosing *actor methods*
+        self._actor_params: List[Tuple[str, Set[str]]] = []
+        #: GeneratorExp nodes already blessed by an order-insensitive consumer
+        self._safe_generators: Set[int] = set()
+
+    # -- reporting ---------------------------------------------------------
+
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(Finding(
+            file=self.filename,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        ))
+
+    # -- SAT001 / SAT002: calls and imports --------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_wall_clock(node)
+        self._check_global_random(node)
+        self._check_call_materializes_set(node)
+        self._bless_safe_generators(node)
+        self.generic_visit(node)
+
+    def _check_wall_clock(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        owner = _terminal_name(func.value)
+        if owner == "time" and func.attr in _WALL_CLOCK_TIME_FUNCS:
+            self._report(node, "SAT001",
+                         f"wall-clock call time.{func.attr}(); use the "
+                         "simulated clock (Simulator.now / LogicalClock)")
+        elif (owner in {"datetime", "date"}
+              and func.attr in _WALL_CLOCK_DATETIME_FUNCS):
+            if func.attr == "today" and node.args:
+                return  # today(tz) on some other object; not the classmethod
+            self._report(node, "SAT001",
+                         f"wall-clock call {owner}.{func.attr}(); simulation "
+                         "code must not read the host clock")
+
+    def _check_global_random(self, node: ast.Call) -> None:
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr not in _RANDOM_SAFE_ATTRS):
+            self._report(node, "SAT002",
+                         f"random.{func.attr}() uses the global RNG; draw "
+                         "from a named RngRegistry stream instead")
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            bad = [a.name for a in node.names
+                   if a.name in _WALL_CLOCK_TIME_FUNCS]
+            if bad:
+                self._report(node, "SAT001",
+                             f"importing wall-clock function(s) "
+                             f"{', '.join(bad)} from time")
+        elif node.module == "random":
+            bad = [a.name for a in node.names
+                   if a.name not in _RANDOM_SAFE_ATTRS]
+            if bad:
+                self._report(node, "SAT002",
+                             f"importing {', '.join(bad)} from random binds "
+                             "the global RNG; use RngRegistry streams")
+        self.generic_visit(node)
+
+    # -- SAT003: hash-ordered iteration ------------------------------------
+
+    def _bless_safe_generators(self, node: ast.Call) -> None:
+        """Mark genexp arguments of order-insensitive consumers as safe."""
+        name = _terminal_name(node.func)
+        if name in _ORDER_INSENSITIVE_CONSUMERS:
+            for arg in node.args:
+                if isinstance(arg, ast.GeneratorExp):
+                    self._safe_generators.add(id(arg))
+
+    def _check_call_materializes_set(self, node: ast.Call) -> None:
+        name = _terminal_name(node.func)
+        if (isinstance(node.func, ast.Name)
+                and name in _ORDER_PRESERVING_MATERIALIZERS
+                and node.args and _is_set_producing(node.args[0])):
+            self._report(node, "SAT003",
+                         f"{name}(...) over a set bakes hash order into a "
+                         "sequence; use sorted(...)")
+
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_producing(node.iter):
+            self._report(node.iter, "SAT003",
+                         "iterating a set in a for-loop is hash-order "
+                         "dependent; wrap the iterable in sorted(...)")
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node: ast.AST,
+                             generators: Sequence[ast.comprehension],
+                             ordered_result: bool) -> None:
+        for gen in generators:
+            if not _is_set_producing(gen.iter):
+                continue
+            if not ordered_result:
+                continue  # building a set/bool: order cannot leak out
+            self._report(gen.iter, "SAT003",
+                         "comprehension over a set produces a hash-ordered "
+                         "sequence; wrap the iterable in sorted(...)")
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_comprehension(node, node.generators, ordered_result=True)
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._check_comprehension(node, node.generators, ordered_result=False)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        # dicts remember insertion order, so a dict built from a set leaks
+        # hash order to every later iteration of it
+        self._check_comprehension(node, node.generators, ordered_result=True)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        ordered = id(node) not in self._safe_generators
+        self._check_comprehension(node, node.generators, ordered_result=ordered)
+        self.generic_visit(node)
+
+    # -- SAT004: float-timestamp equality ----------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            lts, rts = _is_timestampish(left), _is_timestampish(right)
+            lfc, rfc = _is_float_constant(left), _is_float_constant(right)
+            if (lts and rts) or (lts and rfc) or (rts and lfc):
+                self._report(node, "SAT004",
+                             "== / != between float timestamps is brittle; "
+                             "compare (ts, src) keys or use <= / >= cuts")
+        self.generic_visit(node)
+
+    # -- SAT005: mutable defaults ------------------------------------------
+
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set,
+                                           ast.ListComp, ast.DictComp,
+                                           ast.SetComp))
+            if (isinstance(default, ast.Call)
+                    and _terminal_name(default.func) in _MUTABLE_FACTORIES):
+                mutable = True
+            if mutable:
+                self._report(default, "SAT005",
+                             "mutable default argument is shared across "
+                             "calls; default to None and construct inside")
+
+    # -- SAT006: cross-process mutation ------------------------------------
+
+    def _collect_process_classes(self, tree: ast.Module) -> None:
+        """In-file fixpoint of 'inherits (transitively) from Process'."""
+        class_bases: Dict[str, List[str]] = {}
+        for stmt in ast.walk(tree):
+            if isinstance(stmt, ast.ClassDef):
+                class_bases[stmt.name] = [
+                    base for base in
+                    (_terminal_name(b) for b in stmt.bases)
+                    if base is not None
+                ]
+        known = set(_PROCESS_BASE_NAMES)
+        changed = True
+        while changed:
+            changed = False
+            for name, bases in class_bases.items():
+                if name not in known and any(b in known for b in bases):
+                    known.add(name)
+                    changed = True
+        self.process_classes = known - _PROCESS_BASE_NAMES | (
+            known & set(class_bases))
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _enter_function(self, node) -> bool:
+        """Returns True if this function is an actor method to track."""
+        self._check_defaults(node)
+        owner = self._class_stack[-1] if self._class_stack else None
+        if owner in self.process_classes and node.args.args:
+            params = {a.arg for a in node.args.args[1:]}
+            params.update(a.arg for a in node.args.kwonlyargs)
+            if node.args.vararg:
+                params.add(node.args.vararg.arg)
+            self._actor_params.append((node.args.args[0].arg, params))
+            return True
+        return False
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        tracked = self._enter_function(node)
+        self.generic_visit(node)
+        if tracked:
+            self._actor_params.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        tracked = self._enter_function(node)
+        self.generic_visit(node)
+        if tracked:
+            self._actor_params.pop()
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def _check_foreign_write(self, target: ast.expr) -> None:
+        if not self._actor_params:
+            return
+        if not isinstance(target, ast.Attribute):
+            return
+        root = target.value
+        while isinstance(root, ast.Attribute):
+            root = root.value
+        if not isinstance(root, ast.Name):
+            return
+        selfname, params = self._actor_params[-1]
+        if root.id != selfname and root.id in params:
+            self._report(target, "SAT006",
+                         f"writing {ast.unparse(target) if hasattr(ast, 'unparse') else root.id!r} "
+                         "mutates state received from another process; "
+                         "communicate via Network.send instead")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_foreign_write(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_foreign_write(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_foreign_write(node.target)
+        self.generic_visit(node)
+
+
+# -- noqa suppression ------------------------------------------------------
+
+def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """line -> None (suppress all) or a set of suppressed codes."""
+    table: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            table[lineno] = None
+        else:
+            table[lineno] = {c.strip().upper() for c in codes.split(",")}
+    return table
+
+
+# -- entry points ----------------------------------------------------------
+
+#: Pseudo-code for files the linter could not parse.  Not part of the rule
+#: catalogue and never filtered by --select/--ignore: an unparseable file
+#: must always surface, or a stray syntax error silently shrinks coverage.
+PARSE_ERROR_CODE = "SAT000"
+
+
+def lint_source(source: str, filename: str = "<string>") -> List[Finding]:
+    """Lint python *source*; returns findings surviving noqa filtering."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [Finding(file=filename, line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1, code=PARSE_ERROR_CODE,
+                        message=f"file could not be parsed: {exc.msg}")]
+    visitor = _Visitor(filename)
+    visitor._collect_process_classes(tree)
+    visitor.visit(tree)
+    noqa = _suppressions(source)
+    findings = []
+    for finding in visitor.findings:
+        suppressed = noqa.get(finding.line, ...)
+        if suppressed is None:
+            continue
+        if suppressed is not ... and finding.code in suppressed:
+            continue
+        findings.append(finding)
+    findings.sort(key=lambda f: (f.file, f.line, f.col, f.code))
+    return findings
+
+
+def lint_file(path: Path) -> List[Finding]:
+    return lint_source(path.read_text(encoding="utf-8"), str(path))
+
+
+def _python_files(paths: Iterable[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def lint_paths(paths: Sequence, select: Optional[Set[str]] = None,
+               ignore: Optional[Set[str]] = None) -> LintReport:
+    """Lint every ``.py`` file under *paths* (files or directories)."""
+    report = LintReport()
+    unknown = (select or set()) | (ignore or set())
+    unknown -= set(RULES_BY_CODE)
+    if unknown:
+        raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
+    for path in _python_files([Path(p) for p in paths]):
+        report.files_checked += 1
+        for finding in lint_file(path):
+            if finding.code != PARSE_ERROR_CODE:
+                if select is not None and finding.code not in select:
+                    continue
+                if ignore is not None and finding.code in ignore:
+                    continue
+            report.findings.append(finding)
+    return report

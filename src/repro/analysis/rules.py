@@ -1,0 +1,90 @@
+"""Rule catalogue for the Saturn-specific lint.
+
+Each rule names one way simulation code can silently lose determinism or
+break the message-passing discipline the simulator's correctness argument
+rests on.  The detection logic lives in :mod:`repro.analysis.lint`; this
+module is the single place that defines codes, titles, and rationale, so
+reports, suppressions (``# noqa: SATxxx``) and docs stay in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["Rule", "ALL_RULES", "RULES_BY_CODE"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: a stable code plus human-facing explanation."""
+
+    code: str
+    title: str
+    rationale: str
+
+
+ALL_RULES: Tuple[Rule, ...] = (
+    Rule(
+        code="SAT001",
+        title="wall-clock read in simulation code",
+        rationale=(
+            "time.time(), datetime.now() and datetime.today() read the host "
+            "clock; simulation code must use the simulated clock "
+            "(Simulator.now / LogicalClock) or runs stop being reproducible."
+        ),
+    ),
+    Rule(
+        code="SAT002",
+        title="global random module used instead of a seeded stream",
+        rationale=(
+            "Module-level random.* draws from the shared, implicitly seeded "
+            "global RNG; components must draw from their own named stream "
+            "via repro.sim.rng.RngRegistry so seeds reproduce executions "
+            "and adding randomness to one component cannot perturb another."
+        ),
+    ),
+    Rule(
+        code="SAT003",
+        title="unordered set/dict-keys iteration on an order-sensitive path",
+        rationale=(
+            "Iterating a set (or dict keys of untracked origin) yields a "
+            "hash-dependent order; if the loop schedules events, emits "
+            "messages or forwards labels, the execution differs between "
+            "processes (PYTHONHASHSEED) even with identical seeds.  Wrap "
+            "the iterable in sorted(...) or use an order-insensitive "
+            "reduction (min/max/sum/any/all/len or building another set)."
+        ),
+    ),
+    Rule(
+        code="SAT004",
+        title="== / != between float timestamps",
+        rationale=(
+            "Simulated time is a float; equality between computed "
+            "timestamps is brittle (association order changes the last "
+            "ulp).  Compare with <= / >= against explicit cuts, or compare "
+            "(ts, src) label keys, which are exact by construction."
+        ),
+    ),
+    Rule(
+        code="SAT005",
+        title="mutable default argument",
+        rationale=(
+            "A mutable default (list/dict/set) is shared across every call "
+            "and every process instance — hidden global state that couples "
+            "actors which must only interact through messages."
+        ),
+    ),
+    Rule(
+        code="SAT006",
+        title="direct mutation of another process's state",
+        rationale=(
+            "Actors communicate exclusively through Network.send; writing "
+            "to an attribute of an object received as a message (or of a "
+            "peer process) bypasses the FIFO channels the causality "
+            "argument depends on and executes at the wrong simulated time."
+        ),
+    ),
+)
+
+RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

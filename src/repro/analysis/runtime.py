@@ -1,0 +1,289 @@
+"""Opt-in runtime hazard checker for the deterministic simulator.
+
+Saturn's correctness argument (§5.3 of the paper) leans on two runtime
+properties the static lint cannot see:
+
+* every network link behaves as a **FIFO channel** — a label batch sent
+  after another on the same (src, dst) edge must be delivered after it;
+* the event heap breaks same-time ties by scheduling order, so two events
+  scheduled for the *same* float instant are a **determinism hazard**: the
+  outcome is decided by code layout, not by simulated time.  Ties are
+  legal (periodic timers collide constantly) but worth surfacing when a
+  scenario behaves differently after an innocuous-looking refactor.
+
+:class:`HazardMonitor` attaches to a :class:`~repro.sim.engine.Simulator`
+and a :class:`~repro.sim.network.Network` through the observer/trace hooks
+those classes expose.  Nothing is instrumented unless a monitor is
+installed, so the fast path stays untouched.  The monitor also keeps a
+SHA-256 digest of the delivery trace — two runs with the same seed must
+produce identical digests — and can cross-check the label streams each
+datacenter received against the offline causality checker
+(:class:`repro.verify.ExecutionLog`).
+
+Typical use::
+
+    monitor = HazardMonitor.install(cluster.sim, cluster.network)
+    cluster.run(...)
+    report = monitor.report()
+    assert report.ok, report.summary()
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.label import Label, LabelType
+from repro.datacenter.messages import LabelBatch
+from repro.sim.engine import Event, Simulator
+from repro.sim.network import Network
+
+__all__ = ["HazardMonitor", "HazardReport", "FifoViolation", "TieHazard"]
+
+#: stop accumulating individual tie records beyond this many (totals keep
+#: counting); ties are common and the list is for diagnosis, not bulk data
+MAX_TIE_RECORDS = 1000
+
+
+@dataclass(frozen=True)
+class FifoViolation:
+    """A message overtook an earlier one on the same directed link."""
+
+    src: str
+    dst: str
+    expected_seq: int
+    got_seq: int
+    at: float
+
+    def describe(self) -> str:
+        return (f"FIFO violation on {self.src}->{self.dst} at t={self.at:.3f}: "
+                f"delivered send #{self.got_seq}, expected #{self.expected_seq}")
+
+
+@dataclass(frozen=True)
+class TieHazard:
+    """Two or more pending events share the exact same timestamp."""
+
+    time: float
+    pending_at_time: int
+
+    def describe(self) -> str:
+        return (f"{self.pending_at_time} events pending at the same instant "
+                f"t={self.time!r}; pop order is decided by scheduling order")
+
+
+@dataclass
+class HazardReport:
+    """Outcome of a monitored run."""
+
+    fifo_violations: List[FifoViolation] = field(default_factory=list)
+    tie_hazards: List[TieHazard] = field(default_factory=list)
+    ties_total: int = 0
+    messages_delivered: int = 0
+    labels_delivered: int = 0
+    causality_violations: List[Any] = field(default_factory=list)
+    trace_digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """FIFO discipline held and (if cross-checked) causality held.
+
+        Ties are reported but do not fail the run: the kernel resolves
+        them deterministically by scheduling order."""
+        return not self.fifo_violations and not self.causality_violations
+
+    def summary(self) -> str:
+        lines = [
+            f"messages delivered : {self.messages_delivered}",
+            f"labels delivered   : {self.labels_delivered}",
+            f"fifo violations    : {len(self.fifo_violations)}",
+            f"same-time ties     : {self.ties_total}",
+            f"causality breaches : {len(self.causality_violations)}",
+            f"trace digest       : {self.trace_digest}",
+        ]
+        for violation in self.fifo_violations[:10]:
+            lines.append("  " + violation.describe())
+        for violation in self.causality_violations[:10]:
+            lines.append(f"  {violation}")
+        return "\n".join(lines)
+
+
+class _LinkAudit:
+    """Per directed-link sequencing state."""
+
+    __slots__ = ("sent", "delivered", "last_arrival")
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.last_arrival = float("-inf")
+
+
+class HazardMonitor:
+    """Observer asserting FIFO discipline and flagging determinism hazards.
+
+    Implements the :class:`~repro.sim.engine.Simulator` observer protocol
+    (``on_schedule`` / ``on_pop``) and the
+    :class:`~repro.sim.network.Network` trace protocol (``on_send`` /
+    ``on_deliver`` / ``on_drop``).
+    """
+
+    def __init__(self) -> None:
+        self.sim: Optional[Simulator] = None
+        self.network: Optional[Network] = None
+        self._links: Dict[Tuple[str, str], _LinkAudit] = {}
+        self._fifo_violations: List[FifoViolation] = []
+        #: pending-event count per exact timestamp (tie detection)
+        self._pending_times: Dict[float, int] = {}
+        self._tie_hazards: List[TieHazard] = []
+        self._ties_total = 0
+        #: per-datacenter label arrival streams (dc process name -> labels)
+        self._label_streams: Dict[str, List[Label]] = {}
+        self._messages_delivered = 0
+        self._labels_delivered = 0
+        self._digest = hashlib.sha256()
+        self._causality_violations: List[Any] = []
+
+    # -- installation ------------------------------------------------------
+
+    @classmethod
+    def install(cls, sim: Simulator, network: Network) -> "HazardMonitor":
+        """Create a monitor and hook it into *sim* and *network*."""
+        monitor = cls()
+        monitor.attach_sim(sim)
+        monitor.attach_network(network)
+        return monitor
+
+    def attach_sim(self, sim: Simulator) -> None:
+        if sim.observer is not None:
+            raise RuntimeError("simulator already has an observer attached")
+        sim.observer = self
+        self.sim = sim
+
+    def attach_network(self, network: Network) -> None:
+        if network.trace is not None:
+            raise RuntimeError("network already has a trace attached")
+        network.trace = self
+        self.network = network
+
+    def detach(self) -> None:
+        if self.sim is not None and self.sim.observer is self:
+            self.sim.observer = None
+        if self.network is not None and self.network.trace is self:
+            self.network.trace = None
+
+    # -- Simulator observer protocol --------------------------------------
+
+    def on_schedule(self, event: Event) -> None:
+        count = self._pending_times.get(event.time, 0) + 1
+        self._pending_times[event.time] = count
+        if count >= 2:
+            self._ties_total += 1
+            if len(self._tie_hazards) < MAX_TIE_RECORDS:
+                self._tie_hazards.append(
+                    TieHazard(time=event.time, pending_at_time=count))
+
+    def on_pop(self, event: Event) -> None:
+        count = self._pending_times.get(event.time, 0)
+        if count <= 1:
+            self._pending_times.pop(event.time, None)
+        else:
+            self._pending_times[event.time] = count - 1
+
+    # -- Network trace protocol -------------------------------------------
+
+    def on_send(self, src: str, dst: str, message: Any,
+                arrival: float) -> int:
+        link = self._links.setdefault((src, dst), _LinkAudit())
+        link.sent += 1
+        if arrival < link.last_arrival:
+            # the network failed to clamp: this *will* reorder
+            self._fifo_violations.append(FifoViolation(
+                src=src, dst=dst, expected_seq=link.sent,
+                got_seq=link.sent, at=arrival))
+        link.last_arrival = max(link.last_arrival, arrival)
+        return link.sent
+
+    def on_deliver(self, src: str, dst: str, seq: int, message: Any) -> None:
+        link = self._links.setdefault((src, dst), _LinkAudit())
+        expected = link.delivered + 1
+        if seq != expected:
+            self._fifo_violations.append(FifoViolation(
+                src=src, dst=dst, expected_seq=expected, got_seq=seq,
+                at=self.sim.now if self.sim else float("nan")))
+        link.delivered = max(link.delivered, seq)
+        self._messages_delivered += 1
+        now = self.sim.now if self.sim is not None else 0.0
+        self._digest.update(
+            f"{now!r}|{src}|{dst}|{type(message).__name__}".encode())
+        if isinstance(message, LabelBatch):
+            self._labels_delivered += len(message.labels)
+            if dst.startswith("dc:"):
+                self._label_streams.setdefault(dst, []).extend(message.labels)
+            for label in message.labels:
+                self._digest.update(
+                    f"|{label.ts!r}|{label.src}|{label.type.value}".encode())
+
+    def on_drop(self, src: str, dst: str, message: Any) -> None:
+        """A partitioned link swallowed a message; nothing to assert."""
+
+    # -- cross-checking against the offline causality checker -------------
+
+    def crosscheck(self, log) -> List[Any]:
+        """Validate the run against :class:`repro.verify.ExecutionLog`.
+
+        Two checks: (1) the log's own causal-order / session validation;
+        (2) at every datacenter, the update labels Saturn delivered became
+        visible in delivery order (first-arrival order must match the
+        log's visibility positions — the serializer tree's whole job).
+        Returns the violations (also kept for :meth:`report`).
+        """
+        violations: List[Any] = list(log.check())
+        for dst, labels in sorted(self._label_streams.items()):
+            dc_name = dst[len("dc:"):]
+            order = log.visibility_positions(dc_name)
+            last_pos = -1
+            last_version: Optional[Tuple[float, str]] = None
+            seen = set()
+            for label in labels:
+                if label.type is not LabelType.UPDATE:
+                    continue
+                version = (label.ts, label.src)
+                if version in seen:
+                    continue
+                seen.add(version)
+                pos = order.get(version)
+                if pos is None:
+                    continue  # delivered but never applied (run truncated)
+                if pos < last_pos:
+                    violations.append(
+                        f"visibility order at {dc_name} contradicts label "
+                        f"delivery order: {version} became visible at "
+                        f"position {pos} before {last_version} "
+                        f"(position {last_pos})")
+                else:
+                    last_pos, last_version = pos, version
+        self._causality_violations = violations
+        return violations
+
+    # -- results -----------------------------------------------------------
+
+    def label_stream(self, dc_name: str) -> List[Label]:
+        """Labels delivered to datacenter *dc_name*, in arrival order."""
+        return list(self._label_streams.get(f"dc:{dc_name}", ()))
+
+    def trace_digest(self) -> str:
+        """SHA-256 over (time, src, dst, message-type[, labels]) tuples."""
+        return self._digest.hexdigest()
+
+    def report(self) -> HazardReport:
+        return HazardReport(
+            fifo_violations=list(self._fifo_violations),
+            tie_hazards=list(self._tie_hazards),
+            ties_total=self._ties_total,
+            messages_delivered=self._messages_delivered,
+            labels_delivered=self._labels_delivered,
+            causality_violations=list(self._causality_violations),
+            trace_digest=self.trace_digest(),
+        )

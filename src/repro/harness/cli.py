@@ -81,7 +81,7 @@ def _summarize(name: str, result: Dict) -> str:
     if "rows" in result:
         rows = result["rows"]
         if rows:
-            headers = list(rows[0].keys())
+            headers = list(rows[0])  # dicts preserve column insertion order
             lines.append(format_table(
                 headers, [[row.get(h, "") for h in headers] for row in rows]))
     if "series" in result:

@@ -82,6 +82,9 @@ class ClusterConfig:
     ping_period: float = 0.0
     #: override the workload's replication map (e.g. Fig. 1b sweeps)
     replication: Optional[ReplicationMap] = None
+    #: opt-in runtime FIFO/determinism checker (repro.analysis.runtime);
+    #: off by default so the hot path stays uninstrumented
+    hazard_monitor: bool = False
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEMS:
@@ -123,6 +126,10 @@ class Cluster:
         self.clocks = ClockFactory(self.sim, self.rng,
                                    max_skew=config.max_clock_skew)
         self.sites = list(config.sites)
+        self.hazard_monitor = None
+        if config.hazard_monitor:
+            from repro.analysis.runtime import HazardMonitor
+            self.hazard_monitor = HazardMonitor.install(self.sim, self.network)
 
         def latency(a: str, b: str) -> float:
             if a == b:

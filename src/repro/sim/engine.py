@@ -50,6 +50,11 @@ class Simulator:
         self._seq = itertools.count()
         self._now = 0.0
         self._events_executed = 0
+        #: optional instrumentation hook (see repro.analysis.runtime).
+        #: When set, it must provide ``on_schedule(event)`` and
+        #: ``on_pop(event)``; both are called synchronously, so observers
+        #: must not schedule events themselves.
+        self.observer: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -70,6 +75,8 @@ class Simulator:
             raise SimulationError(f"cannot schedule event in the past (delay={delay})")
         event = Event(self._now + delay, next(self._seq), callback)
         heapq.heappush(self._heap, event)
+        if self.observer is not None:
+            self.observer.on_schedule(event)
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
@@ -80,6 +87,8 @@ class Simulator:
             )
         event = Event(time, next(self._seq), callback)
         heapq.heappush(self._heap, event)
+        if self.observer is not None:
+            self.observer.on_schedule(event)
         return event
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
@@ -94,6 +103,8 @@ class Simulator:
                 self._now = until
                 break
             heapq.heappop(self._heap)
+            if self.observer is not None:
+                self.observer.on_pop(event)
             if event.cancelled:
                 continue
             self._now = event.time

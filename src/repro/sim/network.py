@@ -101,6 +101,11 @@ class Network:
         self._links: Dict[Tuple[str, str], _LinkState] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: optional instrumentation hook (see repro.analysis.runtime).
+        #: When set, it must provide ``on_send(src, dst, message, arrival)``
+        #: returning a per-link sequence number, plus ``on_deliver(src,
+        #: dst, seq, message)`` and ``on_drop(src, dst, message)``.
+        self.trace: Optional[Any] = None
 
     # -- registration ------------------------------------------------------
 
@@ -178,6 +183,8 @@ class Network:
             raise KeyError(f"unknown destination process {dst!r}")
         state = self._link(src, dst)
         if state.partitioned:
+            if self.trace is not None:
+                self.trace.on_drop(src, dst, message)
             return
         delay = self.latency(src, dst)
         arrival = self.sim.now + delay
@@ -187,4 +194,15 @@ class Network:
         self.messages_sent += 1
         self.bytes_sent += size_bytes
         target = self._processes[dst]
-        self.sim.schedule_at(arrival, lambda: target.deliver(src, message))
+        if self.trace is None:
+            self.sim.schedule_at(arrival, lambda: target.deliver(src, message))
+        else:
+            seq = self.trace.on_send(src, dst, message, arrival)
+            self.sim.schedule_at(arrival, lambda: self._traced_deliver(
+                target, src, dst, seq, message))
+
+    def _traced_deliver(self, target: Process, src: str, dst: str,
+                        seq: int, message: Any) -> None:
+        if self.trace is not None:
+            self.trace.on_deliver(src, dst, seq, message)
+        target.deliver(src, message)

@@ -162,5 +162,12 @@ class ExecutionLog:
     def visible_counts(self) -> Dict[str, int]:
         return dict(self._visible_count)
 
+    def visibility_positions(self, dc: str) -> Dict[VersionId, int]:
+        """Version -> visibility position at *dc* (empty if unknown dc).
+
+        Used by the runtime hazard checker to cross-check that updates
+        became visible in label-delivery order."""
+        return dict(self._visible_pos.get(dc, {}))
+
     def read_count(self) -> int:
         return len(self._reads)

@@ -1,0 +1,16 @@
+"""Known-bad fixture: wall-clock reads inside simulation code (SAT001)."""
+
+import time
+from datetime import date, datetime
+
+
+def stamp_with_host_clock():
+    started = time.time()
+    nanos = time.time_ns()
+    return started, nanos
+
+
+def timestamp_label():
+    created = datetime.now()
+    day = date.today()
+    return created, day, datetime.utcnow()

@@ -1,0 +1,12 @@
+"""Known-bad fixture: global random module instead of seeded streams (SAT002)."""
+
+import random
+
+
+def jitter():
+    random.seed(42)
+    return random.uniform(0.0, 1.0)
+
+
+def pick_replica(replicas):
+    return random.choice(list(replicas))

@@ -1,0 +1,22 @@
+"""Known-bad fixture: hash-ordered iteration feeding emission (SAT003)."""
+
+
+def schedule_all(sim, processes):
+    for process in set(processes):
+        sim.schedule(0.0, process.tick)
+
+
+def forward_labels(serializer, interested, batch):
+    targets = [dc for dc in interested | {"dc-extra"}]
+    for dc in frozenset(targets):
+        serializer.send(dc, batch)
+    return targets
+
+
+def materialize(replicas):
+    return list(set(replicas))
+
+
+def keys_in_hash_order(watermarks):
+    for origin in watermarks.keys():
+        yield origin

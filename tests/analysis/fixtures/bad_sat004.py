@@ -1,0 +1,13 @@
+"""Known-bad fixture: float-timestamp equality (SAT004)."""
+
+
+def same_instant(label, other):
+    return label.ts == other.ts
+
+
+def deadline_reached(now, deadline):
+    return now != deadline
+
+
+def visible_exactly_at(record):
+    return record.visible_at == 12.5

@@ -1,0 +1,17 @@
+"""Known-bad fixture: mutable default arguments (SAT005)."""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tally(key, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def dedupe(items, seen=set()):
+    fresh = [item for item in items if item not in seen]
+    seen.update(fresh)
+    return fresh

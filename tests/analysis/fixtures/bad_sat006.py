@@ -1,0 +1,14 @@
+"""Known-bad fixture: mutating another process's state (SAT006)."""
+
+from repro.sim.process import Process
+
+
+class Pusher(Process):
+    def receive(self, sender, message):
+        message.acked = True
+
+
+class Poker(Pusher):
+    def poke(self, peer, amount):
+        peer.balance += amount
+        peer.stats.pokes = 1

@@ -1,0 +1,36 @@
+"""Known-clean fixture: the disciplined way to do each flagged thing."""
+
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+
+
+def schedule_all(sim, processes):
+    for process in sorted(set(processes), key=lambda p: p.name):
+        sim.schedule(0.0, process.tick)
+
+
+def jitter(registry: RngRegistry):
+    return registry.stream("jitter").uniform(0.0, 1.0)
+
+
+def nearest(replicas, distance):
+    return min(replicas, key=lambda dc: (distance(dc), dc))
+
+
+def membership_only(interested, dc):
+    return dc in interested and bool(interested & {"a", "b"})
+
+
+def deadline_reached(now, deadline):
+    return now >= deadline
+
+
+def collect(item, bucket=None):
+    bucket = bucket if bucket is not None else []
+    bucket.append(item)
+    return bucket
+
+
+class Sender(Process):
+    def receive(self, sender, message):
+        self.send(sender, ("ack", message))

@@ -1,0 +1,193 @@
+"""The SAT lint: each rule fires on its known-bad fixture, the clean
+fixture passes, noqa suppresses, and the current tree is clean (tier-1)."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import lint_paths, lint_source
+from repro.analysis.rules import ALL_RULES, RULES_BY_CODE
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def codes_in(findings):
+    return {finding.code for finding in findings}
+
+
+# ---------------------------------------------------------------------------
+# rule catalogue sanity
+# ---------------------------------------------------------------------------
+
+def test_rule_catalogue_is_complete():
+    assert [rule.code for rule in ALL_RULES] == [
+        "SAT001", "SAT002", "SAT003", "SAT004", "SAT005", "SAT006"]
+    for rule in ALL_RULES:
+        assert rule.title and rule.rationale
+
+
+# ---------------------------------------------------------------------------
+# each rule is demonstrated by a failing fixture
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("code", sorted(RULES_BY_CODE))
+def test_bad_fixture_trips_rule(code):
+    fixture = FIXTURES / f"bad_{code.lower()}.py"
+    report = lint_paths([fixture])
+    assert code in codes_in(report.findings), (
+        f"{fixture.name} must trip {code}; got {codes_in(report.findings)}")
+
+
+def test_bad_sat001_finds_every_wall_clock_read():
+    report = lint_paths([FIXTURES / "bad_sat001.py"])
+    sat001 = [f for f in report.findings if f.code == "SAT001"]
+    assert len(sat001) >= 5  # time.time, time_ns, now, today, utcnow
+
+
+def test_bad_sat003_finds_loop_listcomp_and_materializer():
+    report = lint_paths([FIXTURES / "bad_sat003.py"])
+    lines = {f.line for f in report.findings if f.code == "SAT003"}
+    assert len(lines) >= 4  # for-set, listcomp, for-frozenset, list(set), keys
+
+
+def test_bad_sat006_fires_in_subclass_of_subclass():
+    report = lint_paths([FIXTURES / "bad_sat006.py"])
+    sat006 = [f for f in report.findings if f.code == "SAT006"]
+    assert len(sat006) == 3
+
+
+def test_clean_fixture_has_no_findings():
+    report = lint_paths([FIXTURES / "clean_fixture.py"])
+    assert report.ok, report.format_human()
+
+
+# ---------------------------------------------------------------------------
+# suppression and filtering
+# ---------------------------------------------------------------------------
+
+def test_noqa_with_code_suppresses_only_that_rule():
+    source = "import time\nt = time.time()  # noqa: SAT001\n"
+    assert lint_source(source) == []
+    source_wrong_code = "import time\nt = time.time()  # noqa: SAT002\n"
+    assert codes_in(lint_source(source_wrong_code)) == {"SAT001"}
+
+
+def test_bare_noqa_suppresses_everything():
+    source = "import random\nx = random.random()  # noqa\n"
+    assert lint_source(source) == []
+
+
+def test_select_and_ignore():
+    fixture = FIXTURES / "bad_sat005.py"
+    assert codes_in(lint_paths([fixture], select={"SAT005"}).findings) == {"SAT005"}
+    assert lint_paths([fixture], ignore={"SAT005"}).ok
+
+
+def test_unknown_code_rejected():
+    with pytest.raises(ValueError):
+        lint_paths([FIXTURES], select={"SAT999"})
+
+
+# ---------------------------------------------------------------------------
+# targeted detection details (inline sources)
+# ---------------------------------------------------------------------------
+
+def test_order_insensitive_consumers_are_allowed():
+    source = (
+        "total = sum(x for x in set(items))\n"
+        "first = min(frozenset(items))\n"
+        "ordered = sorted(set(items))\n"
+        "unique = {x for x in set(items)}\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_dictcomp_over_set_is_flagged():
+    assert codes_in(lint_source("d = {x: 0 for x in set(items)}\n")) == {"SAT003"}
+
+
+def test_known_set_returning_apis_are_tracked():
+    source = "for dc in replication.replicas(key):\n    send(dc)\n"
+    assert codes_in(lint_source(source)) == {"SAT003"}
+
+
+def test_random_class_constructors_are_allowed():
+    assert lint_source("import random\nrng = random.Random(7)\n") == []
+
+
+def test_timestampish_comparison_requires_eq():
+    assert lint_source("ready = now >= deadline\n") == []
+    assert codes_in(lint_source("ready = now == deadline\n")) == {"SAT004"}
+
+
+def test_self_attribute_writes_are_fine():
+    source = (
+        "from repro.sim.process import Process\n"
+        "class A(Process):\n"
+        "    def receive(self, sender, message):\n"
+        "        self.last = message\n"
+    )
+    assert lint_source(source) == []
+
+
+# ---------------------------------------------------------------------------
+# the tree itself must be clean — this is the tier-1 regression gate
+# ---------------------------------------------------------------------------
+
+def test_src_repro_is_lint_clean_in_process():
+    report = lint_paths([REPO_ROOT / "src" / "repro"])
+    assert report.files_checked > 50
+    assert report.ok, report.format_human()
+
+
+def test_cli_on_src_repro_exits_zero_with_json():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src")
+                         + os.pathsep + env.get("PYTHONPATH", ""))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src/repro", "--json"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["ok"] is True
+    assert payload["findings"] == []
+    assert payload["files_checked"] > 50
+
+
+def test_cli_nonzero_exit_on_findings(capsys):
+    from repro.analysis.__main__ import main
+    assert main([str(FIXTURES / "bad_sat001.py")]) == 1
+    out = capsys.readouterr().out
+    assert "SAT001" in out
+
+
+def test_cli_list_rules(capsys):
+    from repro.analysis.__main__ import main
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule.code in out
+
+
+def test_cli_missing_path_is_a_usage_error():
+    from repro.analysis.__main__ import main
+    with pytest.raises(SystemExit) as excinfo:
+        main(["/no/such/path"])
+    assert excinfo.value.code == 2
+
+
+def test_unparseable_file_reported_not_crashed(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    report = lint_paths([bad])
+    assert not report.ok
+    assert report.findings[0].code == "SAT000"
+    assert "could not be parsed" in report.findings[0].message
+    # a parse error must survive --select: coverage loss always surfaces
+    selected = lint_paths([bad], select={"SAT003"})
+    assert not selected.ok

@@ -1,0 +1,198 @@
+"""The runtime hazard checker: FIFO auditing, tie detection, digesting,
+and the causality cross-check, on both toy networks and a real cluster."""
+
+import pytest
+
+from repro.analysis.runtime import HazardMonitor
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.verify.checker import ExecutionLog
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+class Recorder(Process):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.inbox = []
+
+    def receive(self, sender, message):
+        self.inbox.append((sender, message))
+
+
+def toy_pair():
+    sim = Simulator()
+    network = Network(sim, default_latency=1.0)
+    a, b = Recorder(sim, "a"), Recorder(sim, "b")
+    a.attach_network(network)
+    b.attach_network(network)
+    return sim, network, a, b
+
+
+# ---------------------------------------------------------------------------
+# FIFO auditing
+# ---------------------------------------------------------------------------
+
+def test_clean_link_has_no_fifo_violations():
+    sim, network, a, b = toy_pair()
+    monitor = HazardMonitor.install(sim, network)
+    for i in range(20):
+        a.send("b", i)
+    sim.run()
+    report = monitor.report()
+    assert report.ok
+    assert report.messages_delivered == 20
+    assert b.inbox == [("a", i) for i in range(20)]
+
+
+def test_fifo_holds_even_when_latency_drops_mid_stream():
+    """A later message on a faster link must still arrive after the
+    earlier, slower one — the network clamps, the monitor confirms."""
+    sim, network, a, b = toy_pair()
+    monitor = HazardMonitor.install(sim, network)
+    network.inject_extra_delay("a", "b", 50.0)
+    a.send("b", "slow")
+    network.inject_extra_delay("a", "b", 0.0)
+    a.send("b", "fast")
+    sim.run()
+    assert [m for _, m in b.inbox] == ["slow", "fast"]
+    assert monitor.report().ok
+
+
+def test_out_of_order_delivery_is_reported():
+    """Drive the trace protocol directly with a reordered link."""
+    monitor = HazardMonitor()
+    monitor.on_send("a", "b", "m1", arrival=1.0)
+    monitor.on_send("a", "b", "m2", arrival=2.0)
+    monitor.on_deliver("a", "b", seq=2, message="m2")
+    monitor.on_deliver("a", "b", seq=1, message="m1")
+    report = monitor.report()
+    assert not report.ok
+    assert len(report.fifo_violations) >= 1
+    violation = report.fifo_violations[0]
+    assert (violation.src, violation.dst) == ("a", "b")
+    assert "FIFO violation" in violation.describe()
+
+
+def test_arrival_regression_at_send_time_is_reported():
+    monitor = HazardMonitor()
+    monitor.on_send("a", "b", "m1", arrival=5.0)
+    monitor.on_send("a", "b", "m2", arrival=3.0)  # would overtake
+    assert not monitor.report().ok
+
+
+def test_partitioned_links_drop_without_violation():
+    sim, network, a, b = toy_pair()
+    monitor = HazardMonitor.install(sim, network)
+    network.partition("a", "b")
+    a.send("b", "lost")
+    network.heal("a", "b")
+    a.send("b", "arrives")
+    sim.run()
+    assert [m for _, m in b.inbox] == ["arrives"]
+    assert monitor.report().ok
+
+
+# ---------------------------------------------------------------------------
+# tie detection
+# ---------------------------------------------------------------------------
+
+def test_same_time_events_are_flagged_as_ties():
+    sim = Simulator()
+    monitor = HazardMonitor()
+    monitor.attach_sim(sim)
+    sim.schedule(5.0, lambda: None)
+    sim.schedule(5.0, lambda: None)
+    sim.schedule(7.0, lambda: None)
+    sim.run()
+    report = monitor.report()
+    assert report.ties_total == 1
+    assert report.tie_hazards[0].time == 5.0
+    assert "pop order" in report.tie_hazards[0].describe()
+
+
+def test_distinct_times_produce_no_ties():
+    sim = Simulator()
+    monitor = HazardMonitor()
+    monitor.attach_sim(sim)
+    for i in range(10):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert monitor.report().ties_total == 0
+
+
+def test_double_attach_is_rejected():
+    sim, network, _, _ = toy_pair()
+    HazardMonitor.install(sim, network)
+    with pytest.raises(RuntimeError):
+        HazardMonitor().attach_sim(sim)
+    with pytest.raises(RuntimeError):
+        HazardMonitor().attach_network(network)
+
+
+def test_detach_restores_uninstrumented_operation():
+    sim, network, a, b = toy_pair()
+    monitor = HazardMonitor.install(sim, network)
+    monitor.detach()
+    assert sim.observer is None and network.trace is None
+    a.send("b", "plain")
+    sim.run()
+    assert monitor.report().messages_delivered == 0
+    assert [m for _, m in b.inbox] == ["plain"]
+
+
+# ---------------------------------------------------------------------------
+# full-cluster integration: FIFO + causality cross-check
+# ---------------------------------------------------------------------------
+
+def checked_cluster_run(seed=11, duration=400.0):
+    from repro.harness.runner import Cluster, ClusterConfig
+    workload = SyntheticWorkload(correlation="full", read_ratio=0.7,
+                                 value_size=8, keys_per_group=4,
+                                 groups_per_dc=2)
+    cluster = Cluster(ClusterConfig(system="saturn", sites=("I", "F", "T"),
+                                    clients_per_dc=2, seed=seed,
+                                    hazard_monitor=True), workload)
+    log = ExecutionLog(cluster.replication)
+    cluster.attach_execution_log(log)
+    cluster.run(duration=duration, warmup=50.0)
+    return cluster, log
+
+
+def test_saturn_run_is_fifo_clean_and_causally_consistent():
+    cluster, log = checked_cluster_run()
+    monitor = cluster.hazard_monitor
+    assert monitor.crosscheck(log) == []
+    report = monitor.report()
+    assert report.ok, report.summary()
+    assert report.labels_delivered > 0
+    assert len(monitor.label_stream("I")) > 0
+    assert len(report.trace_digest) == 64
+
+
+def test_crosscheck_catches_fabricated_visibility_reordering():
+    """Feed the monitor a label stream the log says became visible in the
+    opposite order; the cross-check must object."""
+    from repro.core.label import Label, LabelType
+    from repro.core.replication import ReplicationMap
+    from repro.datacenter.messages import LabelBatch
+
+    replication = ReplicationMap(["A", "B"])
+    log = ExecutionLog(replication)
+    first = Label(LabelType.UPDATE, src="gA", ts=1.0, target="k1",
+                  origin_dc="A")
+    second = Label(LabelType.UPDATE, src="gA", ts=2.0, target="k2",
+                   origin_dc="A")
+    # at datacenter B the log records: second visible, then first
+    log.record_update(first, origin_dc="A", created_at=1.0)
+    log.record_update(second, origin_dc="A", created_at=2.0)
+    log.record_visible(second, dc="B", at=5.0)
+    log.record_visible(first, dc="B", at=6.0)
+
+    monitor = HazardMonitor()
+    batch = LabelBatch((first, second), epoch=0)
+    seq = monitor.on_send("ser", "dc:B", batch, arrival=4.0)
+    monitor.on_deliver("ser", "dc:B", seq, batch)
+    violations = monitor.crosscheck(log)
+    assert violations, "reordered visibility must be reported"
+    assert not monitor.report().ok

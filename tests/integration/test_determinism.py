@@ -6,11 +6,12 @@ from repro.harness.runner import Cluster, ClusterConfig
 from repro.workloads.synthetic import SyntheticWorkload
 
 
-def run(seed, system="saturn"):
+def run(seed, system="saturn", **config_overrides):
     workload = SyntheticWorkload(correlation="full", read_ratio=0.8,
                                  keys_per_group=8, groups_per_dc=2)
     cluster = Cluster(ClusterConfig(system=system, sites=("I", "F", "T"),
-                                    clients_per_dc=4, seed=seed), workload)
+                                    clients_per_dc=4, seed=seed,
+                                    **config_overrides), workload)
     results = cluster.run(duration=500.0, warmup=100.0)
     return cluster, results
 
@@ -22,6 +23,24 @@ def test_identical_seeds_identical_executions():
     assert results_a.throughput == results_b.throughput
     assert cluster_a.sim.events_executed == cluster_b.sim.events_executed
     assert (results_a.visibility.samples() == results_b.visibility.samples())
+
+
+def test_double_run_identical_event_trace_digests():
+    """Bit-level determinism: two runs with the same seed produce the
+    identical delivery trace — a SHA-256 over every (time, src, dst,
+    message-type[, label]) tuple — with the runtime FIFO checker enabled.
+    The checker itself must also come back clean on both runs."""
+    cluster_a, _ = run(seed=13, hazard_monitor=True)
+    cluster_b, _ = run(seed=13, hazard_monitor=True)
+    report_a = cluster_a.hazard_monitor.report()
+    report_b = cluster_b.hazard_monitor.report()
+    assert report_a.ok, report_a.summary()
+    assert report_b.ok, report_b.summary()
+    assert report_a.messages_delivered == report_b.messages_delivered
+    assert report_a.trace_digest == report_b.trace_digest
+
+    cluster_c, _ = run(seed=14, hazard_monitor=True)
+    assert cluster_c.hazard_monitor.report().trace_digest != report_a.trace_digest
 
 
 def test_different_seeds_differ():

@@ -20,6 +20,7 @@ def build(ping_period=5.0, seed=1):
     return cluster, log
 
 
+@pytest.mark.slow
 def test_outage_detected_and_updates_keep_flowing():
     cluster, log = build()
     cluster.sim.schedule(300.0, lambda: cluster.service.fail_tree())
@@ -56,6 +57,7 @@ def test_no_outage_without_failure():
     assert log.check() == []
 
 
+@pytest.mark.slow
 def test_fallback_preserves_causality_across_seeds():
     for seed in (2, 5):
         cluster, log = build(seed=seed)
