@@ -25,6 +25,10 @@ class ReplicationMap:
         self.datacenters: List[str] = list(datacenters)
         self._group_replicas: Dict[str, FrozenSet[str]] = {}
         self._default: FrozenSet[str] = frozenset(datacenters)
+        #: memo for :func:`repro.core.serializer.interest_of` — every
+        #: serializer a label passes through needs the same answer, so the
+        #: map owns one shared cache; invalidated whenever placement changes.
+        self.interest_cache: Dict[tuple, FrozenSet[str]] = {}
 
     # -- construction --------------------------------------------------------
 
@@ -36,6 +40,7 @@ class ReplicationMap:
         if not replica_set:
             raise ValueError(f"group {group!r} must have at least one replica")
         self._group_replicas[group] = replica_set
+        self.interest_cache.clear()
 
     @classmethod
     def full(cls, datacenters: Sequence[str]) -> "ReplicationMap":

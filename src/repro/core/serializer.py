@@ -45,14 +45,24 @@ def interest_of(label: Label, replication: ReplicationMap) -> FrozenSet[str]:
     * migration labels -> the target datacenter;
     * heartbeat / epoch-change labels -> every datacenter (they carry no
       item information, so genuine partial replication is preserved).
+
+    The answer depends only on ``(type, target, origin_dc)``, so results
+    are memoized on the replication map (shared by every serializer the
+    label traverses; invalidated by ``set_group``).
     """
-    if label.type is LabelType.UPDATE:
-        interested = replication.replicas(label.target or "")
-    elif label.type is LabelType.MIGRATION:
-        interested = frozenset({label.target}) if label.target else frozenset()
-    else:
-        interested = frozenset(replication.datacenters)
-    return interested - {label.origin_dc}
+    cache = replication.interest_cache
+    key = (label.type, label.target, label.origin_dc)
+    interested = cache.get(key)
+    if interested is None:
+        if label.type is LabelType.UPDATE:
+            interested = replication.replicas(label.target or "")
+        elif label.type is LabelType.MIGRATION:
+            interested = frozenset({label.target}) if label.target else frozenset()
+        else:
+            interested = frozenset(replication.datacenters)
+        interested = interested - {label.origin_dc}
+        cache[key] = interested
+    return interested
 
 
 class Serializer(Process):
@@ -81,6 +91,23 @@ class Serializer(Process):
         self._alive_replicas = self.chain_length
         self.labels_forwarded = 0
         self.labels_delivered = 0
+        # Routing tables are static per epoch (reconfiguration installs a
+        # fresh tree of serializers), so resolve them once instead of on
+        # every batch: outgoing directions as (neighbor, peer process,
+        # reachable-DC set, edge delay), attached DCs as (dc, delivery
+        # process), and the reverse sender-process -> neighbor map.
+        routing = topology.routing(tree_name)
+        self._out_edges = tuple(
+            (neighbor, peer_process_name(neighbor),
+             routing.reachable[neighbor], routing.delays[neighbor])
+            for neighbor in routing.neighbors)
+        self._attached = tuple(
+            (dc, delivery_name(dc)) for dc in routing.attached)
+        self._sender_to_neighbor = {
+            peer: neighbor for neighbor, peer, _, _ in self._out_edges}
+        self._peer_of = {neighbor: peer for neighbor, peer, _, _ in self._out_edges}
+        self._delay_of = {neighbor: delay for neighbor, _, _, delay in self._out_edges}
+        self._delivery_of = dict(self._attached)
 
     # -- fault injection ---------------------------------------------------
 
@@ -113,35 +140,49 @@ class Serializer(Process):
 
     def _neighbor_of(self, sender_process: str) -> Optional[str]:
         """Map the sending process back to a tree neighbor, if any."""
-        for neighbor in self.topology.neighbors(self.tree_name):
-            if self.peer_process_name(neighbor) == sender_process:
-                return neighbor
-        return None
+        return self._sender_to_neighbor.get(sender_process)
 
     def _route_batch(self, batch: LabelBatch, came_from: Optional[str],
                      sender_process: str) -> None:
         # Partition the batch per outgoing direction, preserving order.
         per_neighbor: Dict[str, List[Label]] = {}
         per_dc: Dict[str, List[Label]] = {}
-        for label in batch.labels:
-            interested = interest_of(label, self.replication)
-            for neighbor in self.topology.neighbors(self.tree_name):
+        replication = self.replication
+        out_edges = self._out_edges
+        attached = self._attached
+        labels = batch.labels
+        for label in labels:
+            interested = interest_of(label, replication)
+            for neighbor, _, reachable, _ in out_edges:
                 if neighbor == came_from:
                     continue
-                if interested & self.topology.reachable_dcs(self.tree_name, neighbor):
+                if interested & reachable:
                     per_neighbor.setdefault(neighbor, []).append(label)
-            for dc in self.topology.attached_datacenters(self.tree_name):
-                if dc in interested and self.delivery_name(dc) != sender_process:
+            for dc, delivery in attached:
+                if dc in interested and delivery != sender_process:
                     per_dc.setdefault(dc, []).append(label)
-        for neighbor, labels in per_neighbor.items():
-            self._forward(self.peer_process_name(neighbor),
-                          LabelBatch(tuple(labels), epoch=batch.epoch),
-                          extra_delay=self.topology.delay(self.tree_name, neighbor))
-            self.labels_forwarded += len(labels)
-        for dc, labels in per_dc.items():
-            self._forward(self.delivery_name(dc),
-                          LabelBatch(tuple(labels), epoch=batch.epoch))
-            self.labels_delivered += len(labels)
+        # Forward in first-label insertion order (the pre-optimization send
+        # order) so event sequencing — and thus the delivery trace — is
+        # unchanged.  When the whole batch goes out one direction (the
+        # common full-replication case) the incoming batch object is reused
+        # instead of building a new one: routed is a same-order subset, so
+        # equal length means identical contents.
+        total = len(labels)
+        for neighbor, routed in per_neighbor.items():
+            if len(routed) == total:
+                out = batch
+            else:
+                out = LabelBatch(tuple(routed), epoch=batch.epoch)
+            self._forward(self._peer_of[neighbor], out,
+                          extra_delay=self._delay_of[neighbor])
+            self.labels_forwarded += len(routed)
+        for dc, routed in per_dc.items():
+            if len(routed) == total:
+                out = batch
+            else:
+                out = LabelBatch(tuple(routed), epoch=batch.epoch)
+            self._forward(self._delivery_of[dc], out)
+            self.labels_delivered += len(routed)
 
     def _forward(self, to: str, batch: LabelBatch, extra_delay: float = 0.0) -> None:
         delay = extra_delay + self.chain_latency

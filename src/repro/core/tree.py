@@ -17,11 +17,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["TreeTopology", "TopologyError"]
+__all__ = ["TreeTopology", "TopologyError", "SerializerRouting"]
 
 
 class TopologyError(ValueError):
     """Raised when a topology description is not a valid serializer tree."""
+
+
+@dataclass(frozen=True)
+class SerializerRouting:
+    """Precomputed per-serializer routing view (see :meth:`TreeTopology.routing`).
+
+    Everything a serializer needs on its forwarding hot path, resolved once:
+    tree neighbors, datacenters reachable through each neighbor, locally
+    attached datacenters, and the artificial delay of each outgoing edge.
+    """
+
+    neighbors: Tuple[str, ...]
+    reachable: Dict[str, FrozenSet[str]]
+    attached: Tuple[str, ...]
+    delays: Dict[str, float]
 
 
 @dataclass
@@ -57,6 +72,7 @@ class TreeTopology:
             self._attached_dcs[ser].append(dc)
         self._reachable: Dict[Tuple[str, str], FrozenSet[str]] = {}
         self._compute_reachability()
+        self._routing: Dict[str, SerializerRouting] = {}
 
     # -- validation -----------------------------------------------------------
 
@@ -129,6 +145,24 @@ class TreeTopology:
 
     def reachable_dcs(self, serializer: str, via_neighbor: str) -> FrozenSet[str]:
         return self._reachable[(serializer, via_neighbor)]
+
+    def routing(self, serializer: str) -> SerializerRouting:
+        """Cached hot-path routing view for one serializer.
+
+        The topology is immutable after construction (reconfiguration
+        builds a new :class:`TreeTopology`), so the view is computed once
+        per serializer and shared by every lookup."""
+        view = self._routing.get(serializer)
+        if view is None:
+            neighbors = tuple(self._adjacency[serializer])
+            view = SerializerRouting(
+                neighbors=neighbors,
+                reachable={n: self._reachable[(serializer, n)] for n in neighbors},
+                attached=tuple(self._attached_dcs[serializer]),
+                delays={n: self.delays.get((serializer, n), 0.0) for n in neighbors},
+            )
+            self._routing[serializer] = view
+        return view
 
     # -- paths (used by the configuration solver and tests) ---------------------
 

@@ -1,0 +1,120 @@
+"""CLI for the perf harness.
+
+Examples::
+
+    python -m repro.perf                          # run, write BENCH_perf.json
+    python -m repro.perf --json                   # same, JSON on stdout
+    python -m repro.perf --compare BENCH_perf.json
+    python -m repro.perf --skip figure --repeat 1 # quick kernel+tree check
+
+``--compare`` loads the given baseline *before* the run, compares the fresh
+numbers against it (machine-normalized) and exits 1 on the regression
+verdict; the fresh result is still written to ``--output`` so CI can upload
+it as an artifact (and so refreshing the committed baseline is just
+re-running the tool and committing the file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.perf.baseline import (DEFAULT_TOLERANCE, build_result, compare,
+                                 load_result, save_result)
+from repro.perf.benches import bench_figure, bench_kernel, bench_tree
+from repro.perf.measure import calibrate
+
+BENCHES = ("kernel", "tree", "figure")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Simulator performance harness with regression verdicts")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the result document as JSON on stdout")
+    parser.add_argument("--compare", metavar="BASELINE",
+                        help="baseline result file to compare against; "
+                             "exit 1 when any metric regresses")
+    parser.add_argument("--output", default="BENCH_perf.json",
+                        metavar="PATH",
+                        help="where to write the fresh result "
+                             "(default: %(default)s; 'none' disables)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        metavar="FRACTION",
+                        help="allowed normalized slowdown before a metric "
+                             "fails (default: %(default)s)")
+    parser.add_argument("--repeat", type=int, default=None, metavar="N",
+                        help="override per-bench repeat count")
+    parser.add_argument("--skip", action="append", default=[],
+                        choices=BENCHES, metavar="BENCH",
+                        help="skip one bench (repeatable): kernel, tree, "
+                             "figure")
+    parser.add_argument("--kernel-events", type=int, default=300_000,
+                        metavar="N", help="kernel bench event count")
+    parser.add_argument("--tree-batches", type=int, default=120, metavar="N",
+                        help="tree bench batches per datacenter")
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.compare:
+        try:
+            baseline = load_result(args.compare)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            parser.error(f"cannot load baseline {args.compare}: {exc}")
+
+    def repeats(default: int) -> int:
+        return args.repeat if args.repeat is not None else default
+
+    calibration = calibrate()
+    metrics = {}
+    if "kernel" not in args.skip:
+        metrics["kernel_events_per_sec"] = bench_kernel(
+            events=args.kernel_events, repeats=repeats(3))
+    if "tree" not in args.skip:
+        metrics["tree_label_deliveries_per_sec"] = bench_tree(
+            batches_per_dc=args.tree_batches, repeats=repeats(3))
+    if "figure" not in args.skip:
+        metrics["figure_smoke_seconds"] = bench_figure(repeats=repeats(2))
+
+    result = build_result(metrics, calibration)
+
+    if args.output and args.output != "none":
+        save_result(result, args.output)
+
+    report = None
+    if baseline is not None:
+        report = compare(result, baseline, tolerance=args.tolerance)
+
+    if args.json:
+        document = dict(result)
+        if report is not None:
+            document["comparison"] = {
+                "baseline": args.compare,
+                "tolerance": report.tolerance,
+                "verdict": report.verdict(),
+                "metrics": {
+                    c.name: {"change": c.change, "regression": c.regression}
+                    for c in report.comparisons
+                },
+            }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        machine = result["machine"]
+        print(f"calibration: {machine['calibration_ops_per_sec']:,.0f} ops/s "
+              f"({machine['implementation']} {machine['python']})")
+        for name, entry in sorted(result["metrics"].items()):
+            print(f"  {name}: {entry['raw']:,.1f} {entry['unit']} "
+                  f"(normalized {entry['normalized']:.6g})")
+        if report is not None:
+            print(report.summary())
+
+    if report is not None and not report.ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,176 @@
+"""Result schema, baseline IO and the regression verdict.
+
+A perf result file (``BENCH_perf.json``) holds machine metadata, the
+calibration score, and one entry per metric::
+
+    {
+      "schema": 1,
+      "machine": {"python": "...", "platform": "...",
+                  "calibration_ops_per_sec": 31234567.0},
+      "metrics": {
+        "kernel_events_per_sec": {
+          "raw": 850000.0, "normalized": 0.0272,
+          "unit": "events/s", "higher_is_better": true, "meta": {...}
+        },
+        ...
+      }
+    }
+
+``normalized`` is the machine-independent number verdicts compare:
+``raw / calibration`` for rates, ``raw * calibration`` for durations (see
+:mod:`repro.perf.measure`).  :func:`compare` declares a regression when a
+metric's normalized value is more than *tolerance* (default 15%) worse
+than the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "SCHEMA_VERSION", "DEFAULT_TOLERANCE",
+    "build_result", "load_result", "save_result",
+    "MetricComparison", "ComparisonReport", "compare",
+]
+
+SCHEMA_VERSION = 1
+DEFAULT_TOLERANCE = 0.15
+
+
+def normalize(raw: float, higher_is_better: bool, calibration: float) -> float:
+    """Machine-normalize one measurement (see module docstring)."""
+    if calibration <= 0:
+        raise ValueError("calibration score must be positive")
+    return raw / calibration if higher_is_better else raw * calibration
+
+
+def build_result(metrics: Dict[str, Dict], calibration: float) -> Dict:
+    """Assemble the result document from raw bench dicts."""
+    out_metrics = {}
+    for name, bench in metrics.items():
+        out_metrics[name] = {
+            "raw": bench["raw"],
+            "normalized": normalize(bench["raw"], bench["higher_is_better"],
+                                    calibration),
+            "unit": bench["unit"],
+            "higher_is_better": bench["higher_is_better"],
+            "meta": bench.get("meta", {}),
+        }
+    return {
+        "schema": SCHEMA_VERSION,
+        "machine": {
+            "python": sys.version.split()[0],
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "calibration_ops_per_sec": calibration,
+        },
+        "metrics": out_metrics,
+    }
+
+
+def load_result(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported perf-result schema {document.get('schema')!r} "
+            f"in {path} (expected {SCHEMA_VERSION})")
+    return document
+
+
+def save_result(document: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# comparison / verdict
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """Verdict for one metric against the baseline."""
+
+    name: str
+    unit: str
+    higher_is_better: bool
+    current_raw: float
+    current_normalized: float
+    baseline_normalized: float
+    #: > 0 is faster than baseline, < 0 slower (fraction, normalized)
+    change: float
+    regression: bool
+
+    def describe(self) -> str:
+        direction = "faster" if self.change >= 0 else "slower"
+        flag = "  << REGRESSION" if self.regression else ""
+        return (f"{self.name}: {self.current_raw:,.1f} {self.unit} "
+                f"({abs(self.change) * 100.0:.1f}% {direction} than baseline, "
+                f"normalized){flag}")
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of comparing a run against the committed baseline."""
+
+    tolerance: float
+    comparisons: List[MetricComparison] = field(default_factory=list)
+    missing_in_baseline: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(c.regression for c in self.comparisons)
+
+    def verdict(self) -> str:
+        return "PASS" if self.ok else "FAIL"
+
+    def summary(self) -> str:
+        lines = [f"perf verdict: {self.verdict()} "
+                 f"(tolerance {self.tolerance * 100.0:.0f}%)"]
+        lines.extend("  " + c.describe() for c in self.comparisons)
+        for name in self.missing_in_baseline:
+            lines.append(f"  {name}: no baseline entry (skipped)")
+        return "\n".join(lines)
+
+
+def compare(current: Dict, baseline: Dict,
+            tolerance: float = DEFAULT_TOLERANCE) -> ComparisonReport:
+    """Compare two result documents on their normalized metrics.
+
+    A metric regresses when it is more than *tolerance* worse than the
+    baseline: rate metrics below ``baseline * (1 - tolerance)``, duration
+    metrics above ``baseline * (1 + tolerance)``.  Metrics absent from the
+    baseline are reported but never fail the run (so adding a bench does
+    not require regenerating every committed baseline at once).
+    """
+    report = ComparisonReport(tolerance=tolerance)
+    baseline_metrics = baseline.get("metrics", {})
+    for name in sorted(current.get("metrics", {})):
+        entry = current["metrics"][name]
+        base = baseline_metrics.get(name)
+        if base is None:
+            report.missing_in_baseline.append(name)
+            continue
+        higher = entry["higher_is_better"]
+        cur_norm = entry["normalized"]
+        base_norm = base["normalized"]
+        if base_norm <= 0:
+            change = 0.0
+            regression = False
+        elif higher:
+            change = cur_norm / base_norm - 1.0
+            regression = cur_norm < base_norm * (1.0 - tolerance)
+        else:
+            change = base_norm / cur_norm - 1.0 if cur_norm > 0 else 0.0
+            regression = cur_norm > base_norm * (1.0 + tolerance)
+        report.comparisons.append(MetricComparison(
+            name=name, unit=entry["unit"], higher_is_better=higher,
+            current_raw=entry["raw"], current_normalized=cur_norm,
+            baseline_normalized=base_norm, change=change,
+            regression=regression))
+    return report

@@ -1,0 +1,198 @@
+"""The three benchmarks behind ``python -m repro.perf``.
+
+* :func:`bench_kernel` — raw :class:`~repro.sim.engine.Simulator` heap
+  throughput (events/sec) on a self-rescheduling tick workload; the number
+  every simulated component ultimately rides on.
+* :func:`bench_tree` — label deliveries/sec through a 7-datacenter Saturn
+  serializer tree over the paper's Table-1 EC2 latencies; exercises
+  ``Network.send`` delivery batching, serializer routing-table caches and
+  interest memoization together.
+* :func:`bench_figure` — wall-clock seconds for one smoke-scale figure run
+  (the full stack: datacenters, gears, clients, metrics), i.e. what a
+  contributor actually waits for.
+
+Each returns a plain dict ready for :mod:`repro.perf.baseline`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config.latencies import EC2_REGIONS, ec2_latency_model
+from repro.core.label import Label, LabelType
+from repro.core.replication import ReplicationMap
+from repro.core.service import SaturnService
+from repro.core.tree import TreeTopology
+from repro.datacenter.datacenter import dc_process_name
+from repro.datacenter.messages import LabelBatch
+from repro.perf.measure import best_rate, wall_clock
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+
+__all__ = ["bench_kernel", "bench_tree", "bench_figure", "TREE_SITES"]
+
+#: the paper's seven EC2 regions — one datacenter per region
+TREE_SITES: Tuple[str, ...] = tuple(EC2_REGIONS)
+
+
+# ---------------------------------------------------------------------------
+# kernel microbenchmark
+# ---------------------------------------------------------------------------
+
+def bench_kernel(events: int = 300_000, chains: int = 100,
+                 repeats: int = 5) -> Dict:
+    """Events/sec through the simulator heap.
+
+    *chains* concurrent self-rescheduling ticks keep the heap at a
+    realistic depth; every tick is one pop + one push, so the measured
+    rate is dominated by exactly the code every actor schedules through.
+    """
+
+    def run() -> Tuple[int, float]:
+        sim = Simulator()
+        remaining = [events]
+
+        def tick() -> None:
+            left = remaining[0] = remaining[0] - 1
+            if left > 0:
+                sim.schedule(1.0, tick)
+
+        for i in range(chains):
+            sim.schedule(0.1 * (i % 7), tick)
+        start = wall_clock()
+        sim.run()
+        elapsed = wall_clock() - start
+        return sim.events_executed, elapsed
+
+    rate, work, elapsed = best_rate(run, repeats)
+    return {
+        "raw": rate,
+        "unit": "events/s",
+        "higher_is_better": True,
+        "meta": {"events": work, "seconds": elapsed, "chains": chains,
+                 "repeats": repeats},
+    }
+
+
+# ---------------------------------------------------------------------------
+# 7-DC serializer-tree throughput
+# ---------------------------------------------------------------------------
+
+class _LabelCounter(Process):
+    """Stand-in for a datacenter: counts the labels Saturn delivers."""
+
+    def __init__(self, sim: Simulator, dc_name: str) -> None:
+        super().__init__(sim, dc_process_name(dc_name))
+        self.labels_received = 0
+
+    def receive(self, sender: str, message) -> None:
+        if isinstance(message, LabelBatch):
+            self.labels_received += len(message.labels)
+
+
+def _chain_topology(sites: Tuple[str, ...]) -> TreeTopology:
+    """Deterministic 7-serializer chain, one datacenter per serializer."""
+    serializer_sites = {f"s{site}": site for site in sites}
+    names = [f"s{site}" for site in sites]
+    edges = list(zip(names, names[1:]))
+    attachments = {site: f"s{site}" for site in sites}
+    return TreeTopology(serializer_sites=serializer_sites, edges=edges,
+                        attachments=attachments)
+
+
+def bench_tree(batches_per_dc: int = 120, labels_per_batch: int = 24,
+               repeats: int = 3,
+               sites: Tuple[str, ...] = TREE_SITES) -> Dict:
+    """Label deliveries/sec through the full-width serializer tree.
+
+    Every datacenter streams timestamp-ordered update-label batches into
+    its ingress serializer (1 ms apart, mimicking the sink's batch
+    period); with full replication each label must reach the other six
+    datacenters, so one run forwards ``7 * batches * labels`` labels and
+    delivers six times that many.
+    """
+
+    def run() -> Tuple[int, float]:
+        sim = Simulator()
+        network = Network(sim, latency_model=ec2_latency_model(),
+                          default_latency=0.25, rng=RngRegistry(seed=11))
+        replication = ReplicationMap(list(sites))
+        service = SaturnService(sim, network, replication)
+        topology = _chain_topology(sites)
+        service.install_tree(topology, epoch=0)
+        counters: List[_LabelCounter] = []
+        for site in sites:
+            counter = _LabelCounter(sim, site)
+            counter.attach_network(network)
+            network.place(counter.name, site)
+            counters.append(counter)
+
+        def make_injector(site: str, ingress: str, batch_index: int):
+            base_ts = float(batch_index * labels_per_batch)
+
+            def inject() -> None:
+                labels = tuple(
+                    Label(LabelType.UPDATE, src=f"{site}/gear",
+                          ts=base_ts + offset, target=f"key{offset}",
+                          origin_dc=site)
+                    for offset in range(labels_per_batch))
+                network.send(f"sink:{site}", ingress, LabelBatch(labels))
+
+            return inject
+
+        for site in sites:
+            ingress = service.ingress_process(site, epoch=0)
+            assert ingress is not None
+            for batch_index in range(batches_per_dc):
+                sim.schedule(1.0 * batch_index,
+                             make_injector(site, ingress, batch_index))
+        start = wall_clock()
+        sim.run()
+        elapsed = wall_clock() - start
+        delivered = sum(counter.labels_received for counter in counters)
+        return delivered, elapsed
+
+    rate, work, elapsed = best_rate(run, repeats)
+    expected = len(sites) * batches_per_dc * labels_per_batch * (len(sites) - 1)
+    return {
+        "raw": rate,
+        "unit": "labels/s",
+        "higher_is_better": True,
+        "meta": {"labels_delivered": work, "expected": expected,
+                 "seconds": elapsed, "batches_per_dc": batches_per_dc,
+                 "labels_per_batch": labels_per_batch, "repeats": repeats},
+    }
+
+
+# ---------------------------------------------------------------------------
+# end-to-end smoke figure run
+# ---------------------------------------------------------------------------
+
+def bench_figure(repeats: int = 3, scale=None) -> Dict:
+    """Wall-clock for one smoke-scale Saturn figure run (lower is better)."""
+    # imported lazily: the harness pulls in the whole workload stack
+    from repro.harness.experiments import SMOKE, m_configuration, run_once
+    from repro.workloads.synthetic import SyntheticWorkload
+
+    scale = scale or SMOKE
+    # warm the M-configuration cache so the beam search (a one-off
+    # config-solver cost, cached across figures) stays out of the timing
+    m_configuration(TREE_SITES, beam_width=scale.beam_width)
+    best = float("inf")
+    throughput = 0.0
+    for _ in range(max(1, repeats)):
+        start = wall_clock()
+        result = run_once("saturn", SyntheticWorkload(), scale)
+        elapsed = wall_clock() - start
+        if elapsed < best:
+            best = elapsed
+            throughput = result.throughput
+    return {
+        "raw": best,
+        "unit": "s",
+        "higher_is_better": False,
+        "meta": {"sim_throughput_ops_s": throughput,
+                 "duration_ms": scale.duration, "repeats": repeats},
+    }

@@ -1,0 +1,74 @@
+"""Wall-clock measurement primitives for the perf harness.
+
+This is the only module in the repository that is *supposed* to read the
+host clock: it times how fast the simulator executes, it never feeds wall
+time into a simulation.  All reads go through :func:`wall_clock` so the
+SAT001 suppression lives in exactly one place.
+
+Machine normalization: absolute events/sec numbers are meaningless across
+machines (a laptop baseline would fail CI on a slow runner and hide
+regressions on a fast one).  :func:`calibrate` times a fixed pure-Python
+spin loop whose instruction mix resembles the simulator hot path (float
+arithmetic, attribute-free name lookups, list appends) and returns a
+machine score in ops/sec.  Dividing a measured rate by the score — or
+multiplying a measured duration — yields a dimensionless number that is
+stable across machines to first order, which is what regression verdicts
+compare.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Tuple
+
+__all__ = ["wall_clock", "calibrate", "best_rate", "CALIBRATION_OPS"]
+
+#: spin-loop iterations per calibration sample
+CALIBRATION_OPS = 400_000
+
+
+def wall_clock() -> float:
+    """Monotonic host-clock read (seconds); measurement only."""
+    return time.perf_counter()  # noqa: SAT001 - perf harness measures the host
+
+
+def _spin(n: int) -> float:
+    """Fixed deterministic workload: float math + list churn."""
+    acc = 0.0
+    items = []
+    append = items.append
+    for i in range(n):
+        acc += i * 0.5 + 1.25
+        if not i % 1024:
+            append(acc)
+            if len(items) > 64:
+                del items[:32]
+    return acc
+
+
+def calibrate(samples: int = 5, ops: int = CALIBRATION_OPS) -> float:
+    """Machine score in calibration-ops/sec (best of *samples*)."""
+    best = float("inf")
+    for _ in range(samples):
+        start = wall_clock()
+        _spin(ops)
+        elapsed = wall_clock() - start
+        best = min(best, elapsed)
+    return ops / best
+
+
+def best_rate(run: Callable[[], Tuple[int, float]], repeats: int) -> Tuple[float, int, float]:
+    """Run *run* (returning ``(work_done, seconds)``) *repeats* times.
+
+    Returns ``(best_rate, work_done, best_seconds)`` where best is the
+    sample with the highest work/sec — the standard way to cut scheduler
+    noise out of microbenchmarks."""
+    best = 0.0
+    best_work = 0
+    best_elapsed = float("inf")
+    for _ in range(max(1, repeats)):
+        work, elapsed = run()
+        rate = work / elapsed if elapsed > 0 else float("inf")
+        if rate > best:
+            best, best_work, best_elapsed = rate, work, elapsed
+    return best, best_work, best_elapsed

@@ -8,13 +8,19 @@ in **milliseconds**, matching the units of the paper's latency tables.
 Determinism: events scheduled for the same instant are executed in the order
 they were scheduled (a monotonically increasing sequence number breaks ties),
 so a given seed always produces the identical execution.
+
+Hot-path layout: the heap stores plain ``(time, seq, event)`` tuples so that
+sift comparisons stay inside the C tuple-compare path instead of calling a
+Python ``__lt__``.  The :class:`Event` returned by the ``schedule`` methods
+is a ``__slots__`` handle used only for cancellation and instrumentation;
+cancelling sets its ``callback`` to ``None`` and bumps a counter on the
+simulator, so :meth:`Simulator.run` can skip dead entries with a single
+attribute load and :meth:`Simulator.pending` stays O(1).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 __all__ = ["Event", "Simulator", "SimulationError"]
@@ -24,32 +30,53 @@ class SimulationError(RuntimeError):
     """Raised for scheduling errors (e.g. events in the past)."""
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback handle.
 
-    Events compare by ``(time, seq)`` so that the heap pops them in
-    chronological order with FIFO tie-breaking.
+    ``callback is None`` doubles as the dead flag: it is cleared both when
+    the event is cancelled and just before the kernel invokes it, so a
+    cancel that races with execution (from inside the running callback or
+    any later event) is a harmless no-op.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "_sim")
+
+    def __init__(self, time: float, seq: int, callback: Optional[Callable[[], None]],
+                 sim: Optional["Simulator"] = None) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self._sim = sim
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the event can no longer fire (cancelled or already run)."""
+        return self.callback is None
 
     def cancel(self) -> None:
         """Mark the event so the scheduler skips it when popped."""
-        self.cancelled = True
+        if self.callback is not None:
+            self.callback = None
+            sim = self._sim
+            if sim is not None:
+                sim._cancelled_in_heap += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "dead" if self.callback is None else "pending"
+        return f"<Event t={self.time} seq={self.seq} {state}>"
 
 
 class Simulator:
     """Single-threaded deterministic discrete-event scheduler."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._seq = itertools.count()
+        #: heap of ``(time, seq, Event)`` entries; compared as tuples.
+        self._heap: list = []
+        self._seq = 0
         self._now = 0.0
         self._events_executed = 0
+        #: cancelled events still sitting in the heap (skipped on pop).
+        self._cancelled_in_heap = 0
         #: optional instrumentation hook (see repro.analysis.runtime).
         #: When set, it must provide ``on_schedule(event)`` and
         #: ``on_pop(event)``; both are called synchronously, so observers
@@ -66,6 +93,15 @@ class Simulator:
         """Number of events executed so far (for diagnostics)."""
         return self._events_executed
 
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recently scheduled event.
+
+        Lets collaborators (e.g. :class:`~repro.sim.network.Network`
+        delivery batching) detect whether anything was scheduled since a
+        given event without holding a reference to the heap."""
+        return self._seq
+
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule *callback* to run ``delay`` ms from now.
 
@@ -73,10 +109,13 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule event in the past (delay={delay})")
-        event = Event(self._now + delay, next(self._seq), callback)
-        heapq.heappush(self._heap, event)
-        if self.observer is not None:
-            self.observer.on_schedule(event)
+        time = self._now + delay
+        seq = self._seq = self._seq + 1
+        event = Event(time, seq, callback, self)
+        heapq.heappush(self._heap, (time, seq, event))
+        observer = self.observer
+        if observer is not None:
+            observer.on_schedule(event)
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
@@ -85,37 +124,47 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {time} < now {self._now}"
             )
-        event = Event(time, next(self._seq), callback)
-        heapq.heappush(self._heap, event)
-        if self.observer is not None:
-            self.observer.on_schedule(event)
+        seq = self._seq = self._seq + 1
+        event = Event(time, seq, callback, self)
+        heapq.heappush(self._heap, (time, seq, event))
+        observer = self.observer
+        if observer is not None:
+            observer.on_schedule(event)
         return event
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events until the heap drains, *until* is reached, or
         *max_events* have executed.  Returns the final simulated time."""
+        heap = self._heap
+        heappop = heapq.heappop
         executed = 0
-        while self._heap:
+        while heap:
             if max_events is not None and executed >= max_events:
                 break
-            event = self._heap[0]
-            if until is not None and event.time > until:
+            entry = heap[0]
+            time = entry[0]
+            if until is not None and time > until:
                 self._now = until
                 break
-            heapq.heappop(self._heap)
-            if self.observer is not None:
-                self.observer.on_pop(event)
-            if event.cancelled:
+            heappop(heap)
+            event = entry[2]
+            observer = self.observer
+            if observer is not None:
+                observer.on_pop(event)
+            callback = event.callback
+            if callback is None:
+                self._cancelled_in_heap -= 1
                 continue
-            self._now = event.time
-            event.callback()
+            event.callback = None
+            self._now = time
+            callback()
             executed += 1
-            self._events_executed += 1
         else:
-            if until is not None:
-                self._now = max(self._now, until)
+            if until is not None and self._now < until:
+                self._now = until
+        self._events_executed += executed
         return self._now
 
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return len(self._heap) - self._cancelled_in_heap

@@ -22,7 +22,6 @@ Latency resolution order for a (src, dst) pair:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from repro.sim.engine import Simulator
@@ -76,13 +75,29 @@ class LatencyModel:
         return model
 
 
-@dataclass
 class _LinkState:
-    """Per ordered-pair state used to enforce FIFO delivery."""
+    """Per ordered-pair state used to enforce FIFO delivery.
 
-    last_delivery: float = 0.0
-    extra_delay: float = 0.0
-    partitioned: bool = False
+    ``pending`` / ``pending_arrival`` / ``pending_seq`` implement
+    same-destination delivery batching: while the most recently scheduled
+    simulator event is still this link's un-fired delivery and the next
+    message lands at the same arrival instant, the message is appended to
+    the pending batch instead of paying for another heap entry.  The
+    ``pending_seq == sim.last_seq`` guard means nothing was scheduled in
+    between, so the merged delivery order is bit-identical to the
+    one-event-per-message order.
+    """
+
+    __slots__ = ("last_delivery", "extra_delay", "partitioned",
+                 "pending", "pending_arrival", "pending_seq")
+
+    def __init__(self) -> None:
+        self.last_delivery = 0.0
+        self.extra_delay = 0.0
+        self.partitioned = False
+        self.pending: Optional[list] = None
+        self.pending_arrival = 0.0
+        self.pending_seq = -1
 
 
 class Network:
@@ -169,8 +184,10 @@ class Network:
         return self.default_latency
 
     def latency(self, src: str, dst: str) -> float:
+        return self._latency(src, dst, self._links.get((src, dst)))
+
+    def _latency(self, src: str, dst: str, state: Optional[_LinkState]) -> float:
         base = self.base_latency(src, dst)
-        state = self._links.get((src, dst))
         extra = state.extra_delay if state else 0.0
         jitter = self._rng.uniform(0.0, self.jitter) if self.jitter > 0 else 0.0
         return base + extra + jitter
@@ -179,26 +196,50 @@ class Network:
 
     def send(self, src: str, dst: str, message: Any, size_bytes: int = 0) -> None:
         """Queue *message* for FIFO delivery from *src* to *dst*."""
-        if dst not in self._processes:
+        target = self._processes.get(dst)
+        if target is None:
             raise KeyError(f"unknown destination process {dst!r}")
-        state = self._link(src, dst)
+        state = self._links.get((src, dst))
+        if state is None:
+            state = self._link(src, dst)
         if state.partitioned:
             if self.trace is not None:
                 self.trace.on_drop(src, dst, message)
             return
-        delay = self.latency(src, dst)
-        arrival = self.sim.now + delay
+        sim = self.sim
+        arrival = sim.now + self._latency(src, dst, state)
         # FIFO: never deliver before a previously sent message on this link.
-        arrival = max(arrival, state.last_delivery)
+        if arrival < state.last_delivery:
+            arrival = state.last_delivery
         state.last_delivery = arrival
         self.messages_sent += 1
         self.bytes_sent += size_bytes
-        target = self._processes[dst]
         if self.trace is None:
-            self.sim.schedule_at(arrival, lambda: target.deliver(src, message))
+            pending = state.pending
+            # exact float equality is deliberate: merging is only safe when
+            # the arrival instants are bit-identical.
+            if (pending is not None and state.pending_arrival == arrival  # noqa: SAT004
+                    and state.pending_seq == sim.last_seq):
+                pending.append(message)
+                return
+            batch = [message]
+
+            def _deliver_batch() -> None:
+                if state.pending is batch:
+                    state.pending = None
+                deliver = target.deliver
+                for queued in batch:
+                    deliver(src, queued)
+
+            event = sim.schedule_at(arrival, _deliver_batch)
+            state.pending = batch
+            state.pending_arrival = arrival
+            state.pending_seq = event.seq
         else:
+            # tracing observes every message individually; batching is
+            # disabled so traced runs match the historical event order.
             seq = self.trace.on_send(src, dst, message, arrival)
-            self.sim.schedule_at(arrival, lambda: self._traced_deliver(
+            sim.schedule_at(arrival, lambda: self._traced_deliver(
                 target, src, dst, seq, message))
 
     def _traced_deliver(self, target: Process, src: str, dst: str,

@@ -43,6 +43,23 @@ def test_double_run_identical_event_trace_digests():
     assert cluster_c.hazard_monitor.report().trace_digest != report_a.trace_digest
 
 
+def test_delivery_batching_does_not_change_results():
+    """Untraced runs batch same-destination deliveries into merged events;
+    traced runs schedule one event per message.  Both paths must produce
+    the same simulated outcome — only the host-side event count differs."""
+    cluster_plain, results_plain = run(seed=7)
+    cluster_traced, results_traced = run(seed=7, hazard_monitor=True)
+    assert results_plain.ops_completed == results_traced.ops_completed
+    assert results_plain.throughput == results_traced.throughput
+    assert (results_plain.visibility.samples()
+            == results_traced.visibility.samples())
+    # batching only merges events, never drops messages
+    assert (cluster_plain.network.messages_sent
+            == cluster_traced.network.messages_sent)
+    assert (cluster_plain.sim.events_executed
+            <= cluster_traced.sim.events_executed)
+
+
 def test_different_seeds_differ():
     _, results_a = run(seed=7)
     _, results_b = run(seed=8)

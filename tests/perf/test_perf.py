@@ -1,0 +1,179 @@
+"""The perf harness: benches produce sane numbers, the baseline schema
+round-trips, and the regression verdict trips exactly when it should."""
+
+import json
+
+import pytest
+
+from repro.perf import __main__ as perf_cli
+from repro.perf.baseline import (SCHEMA_VERSION, build_result, compare,
+                                 load_result, normalize, save_result)
+from repro.perf.benches import TREE_SITES, bench_kernel, bench_tree
+from repro.perf.measure import best_rate, calibrate
+
+
+# -- measurement primitives --------------------------------------------------
+
+def test_calibration_is_positive():
+    assert calibrate(samples=1, ops=20_000) > 0
+
+
+def test_best_rate_keeps_the_fastest_sample():
+    samples = iter([(100, 1.0), (100, 0.5), (100, 2.0)])
+    rate, work, elapsed = best_rate(lambda: next(samples), repeats=3)
+    assert rate == pytest.approx(200.0)
+    assert work == 100
+    assert elapsed == pytest.approx(0.5)
+
+
+# -- benches -----------------------------------------------------------------
+
+def test_kernel_bench_executes_requested_events():
+    result = bench_kernel(events=5_000, chains=10, repeats=1)
+    assert result["higher_is_better"] is True
+    assert result["raw"] > 0
+    # every chain decrements the shared budget; total executed is events
+    # plus the initial kick-offs that found the budget already drained
+    assert result["meta"]["events"] >= 5_000
+
+
+def test_tree_bench_delivers_every_interested_label():
+    result = bench_tree(batches_per_dc=4, labels_per_batch=5, repeats=1)
+    meta = result["meta"]
+    expected = len(TREE_SITES) * 4 * 5 * (len(TREE_SITES) - 1)
+    assert meta["expected"] == expected
+    assert meta["labels_delivered"] == expected
+    assert result["raw"] > 0
+
+
+# -- baseline schema ---------------------------------------------------------
+
+def _result(kernel_norm=2.0, figure_norm=10.0):
+    return {
+        "schema": SCHEMA_VERSION,
+        "machine": {"calibration_ops_per_sec": 1.0},
+        "metrics": {
+            "kernel_events_per_sec": {
+                "raw": kernel_norm, "normalized": kernel_norm,
+                "unit": "events/s", "higher_is_better": True, "meta": {}},
+            "figure_smoke_seconds": {
+                "raw": figure_norm, "normalized": figure_norm,
+                "unit": "s", "higher_is_better": False, "meta": {}},
+        },
+    }
+
+
+def test_normalize_direction():
+    assert normalize(100.0, True, 10.0) == pytest.approx(10.0)
+    assert normalize(2.0, False, 10.0) == pytest.approx(20.0)
+
+
+def test_build_result_normalizes_with_calibration():
+    metrics = {"kernel_events_per_sec": {
+        "raw": 500.0, "unit": "events/s", "higher_is_better": True}}
+    document = build_result(metrics, calibration=100.0)
+    assert document["schema"] == SCHEMA_VERSION
+    entry = document["metrics"]["kernel_events_per_sec"]
+    assert entry["normalized"] == pytest.approx(5.0)
+
+
+def test_save_and_load_round_trip(tmp_path):
+    path = str(tmp_path / "BENCH_perf.json")
+    save_result(_result(), path)
+    assert load_result(path)["metrics"].keys() == _result()["metrics"].keys()
+
+
+def test_load_rejects_unknown_schema(tmp_path):
+    path = str(tmp_path / "bad.json")
+    with open(path, "w") as handle:
+        json.dump({"schema": 999}, handle)
+    with pytest.raises(ValueError):
+        load_result(path)
+
+
+# -- regression verdict ------------------------------------------------------
+
+def test_identical_results_pass():
+    report = compare(_result(), _result())
+    assert report.ok and report.verdict() == "PASS"
+
+
+def test_small_slowdown_within_tolerance_passes():
+    report = compare(_result(kernel_norm=1.8), _result(kernel_norm=2.0),
+                     tolerance=0.15)
+    assert report.ok
+
+
+def test_rate_regression_beyond_tolerance_fails():
+    report = compare(_result(kernel_norm=1.5), _result(kernel_norm=2.0),
+                     tolerance=0.15)
+    assert not report.ok
+    failing = [c for c in report.comparisons if c.regression]
+    assert [c.name for c in failing] == ["kernel_events_per_sec"]
+
+
+def test_duration_regression_direction_is_inverted():
+    # figure time going UP is the regression
+    report = compare(_result(figure_norm=12.0), _result(figure_norm=10.0),
+                     tolerance=0.15)
+    assert not report.ok
+    report = compare(_result(figure_norm=8.0), _result(figure_norm=10.0),
+                     tolerance=0.15)
+    assert report.ok
+
+
+def test_speedups_never_fail():
+    report = compare(_result(kernel_norm=20.0, figure_norm=1.0), _result())
+    assert report.ok
+
+
+def test_metric_missing_from_baseline_is_reported_not_failed():
+    baseline = _result()
+    del baseline["metrics"]["figure_smoke_seconds"]
+    report = compare(_result(), baseline)
+    assert report.ok
+    assert report.missing_in_baseline == ["figure_smoke_seconds"]
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def _quick_args(output):
+    return ["--repeat", "1", "--kernel-events", "4000", "--tree-batches", "2",
+            "--skip", "figure", "--output", output]
+
+
+def test_cli_writes_result_file(tmp_path, capsys):
+    out = str(tmp_path / "BENCH_perf.json")
+    assert perf_cli.main(_quick_args(out) + ["--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert "kernel_events_per_sec" in document["metrics"]
+    on_disk = load_result(out)
+    assert on_disk["metrics"].keys() == document["metrics"].keys()
+
+
+def test_cli_compare_against_own_output_passes(tmp_path, capsys):
+    out = str(tmp_path / "BENCH_perf.json")
+    assert perf_cli.main(_quick_args(out)) == 0
+    # second run compared against the first: same machine, same code — any
+    # honest tolerance passes; use a generous one to keep CI noise-proof
+    code = perf_cli.main(_quick_args(str(tmp_path / "second.json"))
+                         + ["--compare", out, "--tolerance", "0.9"])
+    capsys.readouterr()
+    assert code == 0
+
+
+def test_cli_flags_regression_with_exit_one(tmp_path, capsys):
+    out = str(tmp_path / "BENCH_perf.json")
+    assert perf_cli.main(_quick_args(out)) == 0
+    capsys.readouterr()  # drain the first run's human-readable output
+    inflated = load_result(out)
+    for entry in inflated["metrics"].values():
+        factor = 1000.0 if entry["higher_is_better"] else 0.001
+        entry["normalized"] *= factor
+    baseline_path = str(tmp_path / "inflated.json")
+    save_result(inflated, baseline_path)
+    code = perf_cli.main(_quick_args(str(tmp_path / "fresh.json"))
+                         + ["--compare", baseline_path, "--json"])
+    document = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert document["comparison"]["verdict"] == "FAIL"

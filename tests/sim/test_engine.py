@@ -119,3 +119,114 @@ def test_zero_delay_runs_at_current_time(sim):
     times = []
     sim.run()
     assert times == [5.0]
+
+
+# -- Event.cancel semantics (heap entries outlive cancelled handles) ---------
+
+
+def test_cancelled_event_skipped_without_counting_as_executed(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("keep"))
+    dead = sim.schedule(2.0, lambda: fired.append("dead"))
+    sim.schedule(3.0, lambda: fired.append("after"))
+    dead.cancel()
+    sim.run()
+    assert fired == ["keep", "after"]
+    assert sim.events_executed == 2
+    assert sim.pending() == 0
+
+
+def test_cancel_then_reschedule_fires_once_at_new_time(sim):
+    fired = []
+    first = sim.schedule(1.0, lambda: fired.append(sim.now))
+    first.cancel()
+    sim.schedule(4.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [4.0]
+    assert sim.now == 4.0
+
+
+def test_cancel_inside_callback_prevents_same_time_event(sim):
+    fired = []
+
+    def canceller():
+        victim.cancel()
+
+    # FIFO tie-break: the canceller was scheduled first, so it runs first
+    # and the victim — due at the very same instant — must not fire
+    sim.schedule(1.0, canceller)
+    victim = sim.schedule(1.0, lambda: fired.append("victim"))
+    sim.run()
+    assert fired == []
+    assert sim.events_executed == 1
+
+
+def test_cancel_inside_callback_prevents_future_event(sim):
+    fired = []
+    victim = sim.schedule(5.0, lambda: fired.append("victim"))
+    sim.schedule(1.0, victim.cancel)
+    sim.run()
+    assert fired == []
+    assert sim.pending() == 0
+
+
+def test_double_cancel_is_idempotent(sim):
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert sim.pending() == 0
+    sim.run()
+    assert sim.events_executed == 0
+
+
+def test_cancel_after_firing_is_a_noop(sim):
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(1))
+    sim.run()
+    assert fired == [1]
+    event.cancel()  # must not corrupt the cancelled-entry accounting
+    assert sim.pending() == 0
+    follow = sim.schedule(1.0, lambda: fired.append(2))
+    assert sim.pending() == 1
+    sim.run()
+    assert fired == [1, 2]
+    assert follow.cancelled  # fired events read as no-longer-cancellable
+
+
+def test_self_cancel_during_own_callback_is_a_noop(sim):
+    fired = []
+    holder = []
+
+    def callback():
+        fired.append(sim.now)
+        holder[0].cancel()
+
+    holder.append(sim.schedule(2.0, callback))
+    sim.run()
+    assert fired == [2.0]
+    assert sim.pending() == 0
+    assert sim.events_executed == 1
+
+
+def test_cancelled_events_do_not_advance_the_clock(sim):
+    event = sim.schedule(10.0, lambda: None)
+    event.cancel()
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+    sim.run()
+    # the dead heap entry is discarded without executing at t=10
+    assert sim.now == 3.0
+    assert sim.pending() == 0
+    assert sim.events_executed == 0
+
+
+def test_pending_is_consistent_under_interleaved_cancels(sim):
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+    for event in events[::2]:
+        event.cancel()
+    assert sim.pending() == 5
+    for event in events:
+        event.cancel()  # half are double-cancels
+    assert sim.pending() == 0
+    sim.run()
+    assert sim.events_executed == 0
