@@ -75,6 +75,16 @@ _MUTABLE_FACTORIES = {
 #: base classes that make a class an actor for SAT006
 _PROCESS_BASE_NAMES = {"Process"}
 
+#: heapq functions that insert an entry (SAT007)
+_HEAP_PUSH_FUNCS = {"heappush", "heappushpop"}
+
+#: identifiers accepted as a deterministic tie-breaker in a heap entry's
+#: second slot (SAT007): monotonic counters and total, hash-free keys
+_TIEBREAK_NAME_RE = re.compile(
+    r"(?:^|_)(?:seq|seqno|src|key|keys|id|idx|index|count|counter|tie|"
+    r"order|pos|position|name|uid)(?:_|$)"
+)
+
 _NOQA_RE = re.compile(
     r"#\s*noqa\b(?::\s*(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*))?",
     re.IGNORECASE,
@@ -194,6 +204,7 @@ class _Visitor(ast.NodeVisitor):
         self._check_wall_clock(node)
         self._check_global_random(node)
         self._check_call_materializes_set(node)
+        self._check_heap_push(node)
         self._bless_safe_generators(node)
         self.generic_visit(node)
 
@@ -243,6 +254,51 @@ class _Visitor(ast.NodeVisitor):
                              f"importing {', '.join(bad)} from random binds "
                              "the global RNG; use RngRegistry streams")
         self.generic_visit(node)
+
+    # -- SAT007: heap entries need a deterministic tie-breaker --------------
+
+    @staticmethod
+    def _is_deterministic_tiebreak(node: ast.expr) -> bool:
+        """Does this expression look like a total, deterministic key?
+
+        Accepted: integer constants, and names / attributes / subscripts
+        whose terminal identifier smells like a counter or a label key
+        (``seq``, ``src``, ``key[1]``, ...).  Everything else — payload
+        objects in particular — falls through to object comparison when
+        priorities collide."""
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, (int, str)) and not isinstance(
+                node.value, bool)
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Call):
+            node = node.func
+        name = _terminal_name(node)
+        return name is not None and bool(_TIEBREAK_NAME_RE.search(name))
+
+    def _check_heap_push(self, node: ast.Call) -> None:
+        name = _terminal_name(node.func)
+        if name not in _HEAP_PUSH_FUNCS or len(node.args) < 2:
+            return
+        entry = node.args[1]
+        if not isinstance(entry, ast.Tuple):
+            self._report(entry, "SAT007",
+                         f"{name}() entry is not a tuple literal, so a "
+                         "deterministic tie-breaker cannot be verified; "
+                         "push (priority, seq, payload)")
+            return
+        if len(entry.elts) < 2:
+            self._report(entry, "SAT007",
+                         f"{name}() entry has no tie-breaker: a lone "
+                         "priority ties on equal values; push "
+                         "(priority, seq, payload)")
+            return
+        if not self._is_deterministic_tiebreak(entry.elts[1]):
+            self._report(entry, "SAT007",
+                         f"{name}() entry's second element does not look "
+                         "like a deterministic tie-breaker (counter / "
+                         "label key); equal priorities will compare the "
+                         "payload objects")
 
     # -- SAT003: hash-ordered iteration ------------------------------------
 

@@ -1,0 +1,40 @@
+"""Schedule-space model checker for the Saturn simulator.
+
+The deterministic kernel executes exactly one schedule per seed; this
+package drives it through *many*.  A :class:`~repro.analysis.mc.controller.
+ScheduleController` hooks into :class:`repro.sim.engine.Simulator` (choice
+among same-instant ready events) and :class:`repro.sim.network.Network`
+(bounded link-delay perturbation), a strategy decides each choice point,
+and a suite of invariant oracles checks every explored execution:
+
+* per-link FIFO discipline and the delivery-trace digest
+  (:class:`repro.analysis.runtime.HazardMonitor`);
+* causal visibility order and session monotonicity
+  (:class:`repro.verify.ExecutionLog`);
+* genuine partial replication — a label must never traverse a tree
+  branch with no interested datacenter (new oracle);
+* completeness — no update label may be lost (every update becomes
+  visible at every datacenter replicating its key).
+
+Failing schedules are delta-debugged down to a minimal decision list and
+serialized as a replayable JSON counterexample whose schedule hash
+``python -m repro.analysis.mc --replay`` reproduces bit-identically.
+
+See :mod:`repro.analysis.mc.__main__` for the CLI and ``DESIGN.md``
+(“Schedule-space model checker”) for the schedule semantics.
+"""
+
+from repro.analysis.mc.checker import ModelChecker, RunOutcome, SweepResult
+from repro.analysis.mc.controller import ScheduleController
+from repro.analysis.mc.scenario import SCENARIOS, MUTATIONS, build_scenario
+from repro.analysis.mc.shrink import Counterexample, shrink_decisions
+from repro.analysis.mc.strategies import (DelayInjectionStrategy,
+                                          ExhaustiveStrategy, FifoStrategy,
+                                          PctStrategy)
+
+__all__ = [
+    "ModelChecker", "RunOutcome", "SweepResult", "ScheduleController",
+    "SCENARIOS", "MUTATIONS", "build_scenario", "Counterexample",
+    "shrink_decisions", "FifoStrategy", "ExhaustiveStrategy", "PctStrategy",
+    "DelayInjectionStrategy",
+]

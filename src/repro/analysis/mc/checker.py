@@ -1,0 +1,236 @@
+"""Model-checker driver: sweeps, replay, and shrinking.
+
+:class:`ModelChecker` binds one (scenario, mutation) pair and runs it
+under many schedules.  Every run builds a *fresh* scenario — the build is
+deterministic, so two runs with the same decision script are bit-identical
+(same delivery-trace digest), which is what makes recorded decision lists
+replayable counterexamples.
+
+Three sweep modes:
+
+* :meth:`sweep_exhaustive` — stateless depth-first enumeration of every
+  tie-permutation of the first ``depth`` choice points.  Each run explores
+  the all-FIFO extension of its forced prefix; the recorded branching
+  factors then seed the sibling prefixes.  Every schedule in the truncated
+  tree is visited exactly once.
+* :meth:`sweep_pct` — ``budget`` independent PCT-style randomized priority
+  runs (seeds ``seed, seed+1, ...``).
+* :meth:`sweep_delay` — ``budget`` runs with random bounded delay
+  injection on the scenario's serializer tree links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.analysis.mc.controller import (DELAY, ScheduleController, TIE,
+                                          decisions_hash)
+from repro.analysis.mc.oracles import evaluate_oracles
+from repro.analysis.mc.scenario import build_scenario
+from repro.analysis.mc.shrink import Counterexample, shrink_decisions
+from repro.analysis.mc.strategies import (DelayInjectionStrategy,
+                                          ExhaustiveStrategy, FifoStrategy,
+                                          PctStrategy)
+
+__all__ = ["ModelChecker", "RunOutcome", "SweepResult"]
+
+
+@dataclass
+class RunOutcome:
+    """One explored schedule and what the oracles said about it."""
+
+    scenario: str
+    mutation: Optional[str]
+    decisions: List[list]
+    violations: List[str]
+    digest: str
+    seed: Optional[int] = None
+    strategy: str = "fifo"
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def schedule_hash(self) -> str:
+        return decisions_hash(self.scenario, self.mutation, self.decisions)
+
+
+@dataclass
+class SweepResult:
+    """Aggregate of one sweep."""
+
+    mode: str
+    runs: int = 0
+    counterexamples: List[RunOutcome] = field(default_factory=list)
+    #: True when a budget cap stopped the sweep before the space was done
+    truncated: bool = False
+    digests: set = field(default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        return not self.counterexamples
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAIL"
+        line = (f"[{self.mode}] {status}: {self.runs} schedules explored, "
+                f"{len(self.digests)} distinct executions, "
+                f"{len(self.counterexamples)} counterexample(s)")
+        if self.truncated:
+            line += " (budget exhausted before the space was covered)"
+        return line
+
+
+class ModelChecker:
+    """Explore the schedule space of one scenario (optionally mutated)."""
+
+    def __init__(self, scenario: str, mutation: Optional[str] = None) -> None:
+        self.scenario = scenario
+        self.mutation = mutation
+
+    # ------------------------------------------------------------------
+    # single runs
+    # ------------------------------------------------------------------
+
+    def run_once(self, strategy, script: Optional[Sequence[list]] = None,
+                 use_delays: bool = False) -> RunOutcome:
+        """Build a fresh scenario and run it once under *strategy*.
+
+        ``script`` forces a decision prefix (replay / DFS); ``use_delays``
+        turns the scenario's tree links into delay decision points (off by
+        default so tie-only decision traces stay aligned across runs).
+        """
+        scenario = build_scenario(self.scenario, self.mutation)
+        controller = ScheduleController(
+            strategy, script=script,
+            delay_links=scenario.delay_links if use_delays else None)
+        controller.install(scenario.sim, scenario.network)
+        scenario.run()
+        return RunOutcome(
+            scenario=self.scenario, mutation=self.mutation,
+            decisions=[list(d) for d in controller.trace],
+            violations=evaluate_oracles(scenario),
+            digest=scenario.digest(),
+            strategy=getattr(strategy, "name", "unknown"))
+
+    def replay(self, decisions: Sequence[list]) -> RunOutcome:
+        """Re-run a recorded decision list (FIFO beyond its end)."""
+        uses_delays = any(d[0] == DELAY for d in decisions)
+        return self.run_once(FifoStrategy(), script=decisions,
+                             use_delays=uses_delays)
+
+    # ------------------------------------------------------------------
+    # sweeps
+    # ------------------------------------------------------------------
+
+    def sweep_exhaustive(self, depth: int = 4,
+                         max_runs: Optional[int] = None,
+                         stop_on_first: bool = False) -> SweepResult:
+        result = SweepResult(mode=f"exhaustive depth={depth}")
+        stack: List[List[list]] = [[]]
+        while stack:
+            if max_runs is not None and result.runs >= max_runs:
+                result.truncated = True
+                break
+            prefix = stack.pop()
+            outcome = self.run_once(ExhaustiveStrategy(), script=prefix)
+            result.runs += 1
+            result.digests.add(outcome.digest)
+            if outcome.violations:
+                result.counterexamples.append(outcome)
+                if stop_on_first:
+                    result.truncated = bool(stack)
+                    break
+            # every tie at position >= len(prefix) ran its FIFO branch in
+            # this very run; push the sibling branches (choices 1..k-1),
+            # splicing in the executed decisions before that position
+            trace = outcome.decisions
+            for position in range(len(prefix), min(depth, len(trace))):
+                decision = trace[position]
+                if decision[0] != TIE:
+                    continue
+                k = decision[1]
+                for choice in range(1, k):
+                    stack.append(
+                        [list(d) for d in trace[:position]]
+                        + [[TIE, k, choice]])
+        return result
+
+    def sweep_pct(self, budget: int = 50, seed: int = 0,
+                  change_points: int = 3,
+                  stop_on_first: bool = False) -> SweepResult:
+        result = SweepResult(mode=f"pct budget={budget} seed={seed}")
+        for index in range(budget):
+            run_seed = seed + index
+            outcome = self.run_once(
+                PctStrategy(run_seed, change_points=change_points))
+            outcome.seed = run_seed
+            result.runs += 1
+            result.digests.add(outcome.digest)
+            if outcome.violations:
+                result.counterexamples.append(outcome)
+                if stop_on_first:
+                    result.truncated = index + 1 < budget
+                    break
+        return result
+
+    def sweep_delay(self, budget: int = 50, seed: int = 0,
+                    bound: float = 3.0, injection_rate: float = 0.25,
+                    stop_on_first: bool = False) -> SweepResult:
+        result = SweepResult(mode=f"delay budget={budget} seed={seed} "
+                                  f"bound={bound}")
+        for index in range(budget):
+            run_seed = seed + index
+            outcome = self.run_once(
+                DelayInjectionStrategy(run_seed, bound=bound,
+                                       injection_rate=injection_rate),
+                use_delays=True)
+            outcome.seed = run_seed
+            result.runs += 1
+            result.digests.add(outcome.digest)
+            if outcome.violations:
+                result.counterexamples.append(outcome)
+                if stop_on_first:
+                    result.truncated = index + 1 < budget
+                    break
+        return result
+
+    # ------------------------------------------------------------------
+    # shrinking
+    # ------------------------------------------------------------------
+
+    def shrink(self, outcome: RunOutcome) -> Counterexample:
+        """ddmin a failing run down to a minimal replayable counterexample.
+
+        Falls back to the unshrunk decisions if the failure turns out not
+        to reproduce under replay (which would itself be a determinism bug
+        worth keeping the evidence for).
+        """
+        uses_delays = any(d[0] == DELAY for d in outcome.decisions)
+
+        def test(candidate: List[list]) -> Optional[List[str]]:
+            replayed = self.run_once(FifoStrategy(), script=candidate,
+                                     use_delays=uses_delays)
+            return replayed.violations or None
+
+        shrunk = shrink_decisions(outcome.decisions, test)
+        if shrunk is None:
+            return Counterexample(
+                scenario=self.scenario, mutation=self.mutation,
+                strategy=outcome.strategy, decisions=outcome.decisions,
+                violations=outcome.violations, digest=outcome.digest,
+                seed=outcome.seed, shrunk=False,
+                original_decision_count=len(outcome.decisions))
+        decisions, _ = shrunk
+        # one clean replay of the minimal script gives the canonical
+        # violations and digest to serialize (but the stored schedule is
+        # the minimal *script*, not the replay's full decision trace)
+        final = self.run_once(FifoStrategy(), script=decisions,
+                              use_delays=uses_delays)
+        return Counterexample(
+            scenario=self.scenario, mutation=self.mutation,
+            strategy=outcome.strategy, decisions=decisions,
+            violations=final.violations, digest=final.digest,
+            seed=outcome.seed, shrunk=True,
+            original_decision_count=len(outcome.decisions))

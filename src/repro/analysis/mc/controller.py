@@ -1,0 +1,129 @@
+"""Schedule controller: the bridge between the kernel and a strategy.
+
+A :class:`ScheduleController` implements the two hooks the substrates
+expose — :attr:`repro.sim.engine.Simulator.controller` (``on_schedule`` /
+``choose``) and :attr:`repro.sim.network.Network.perturb` — and records
+every decision it makes as a flat list, in occurrence order:
+
+* ``["tie", k, choice]`` — *k* live events shared the minimal instant and
+  the event at index *choice* (in ``(time, seq)`` order) ran next;
+* ``["delay", value]`` — a message send on a targeted link was delayed by
+  *value* extra milliseconds (bounded by the strategy).
+
+The recorded list *is* the schedule: the scenario build is deterministic,
+so replaying the same decisions reproduces the execution bit-identically.
+A controller is constructed with an optional ``script`` (decisions to
+force, consumed in order); once the script is exhausted the strategy
+answers.  The all-default schedule — empty script with the FIFO strategy —
+is identical to an uncontrolled run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.network import Network
+
+__all__ = ["ScheduleController", "decisions_hash", "nondefault_count"]
+
+#: decision kinds (list-encoded for JSON friendliness)
+TIE = "tie"
+DELAY = "delay"
+
+
+def decisions_hash(scenario: str, mutation: Optional[str],
+                   decisions: Sequence[list]) -> str:
+    """Stable SHA-256 over (scenario, mutation, decision list)."""
+    payload = json.dumps(
+        {"scenario": scenario, "mutation": mutation,
+         "decisions": [list(d) for d in decisions]},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def nondefault_count(decisions: Sequence[list]) -> int:
+    """Number of decisions that deviate from the FIFO/no-delay default."""
+    count = 0
+    for decision in decisions:
+        if decision[0] == TIE and decision[2] != 0:
+            count += 1
+        elif decision[0] == DELAY and decision[1] != 0.0:
+            count += 1
+    return count
+
+
+class ScheduleController:
+    """Records (and optionally forces) one run's schedule decisions."""
+
+    def __init__(self, strategy, script: Optional[Sequence[list]] = None,
+                 delay_links: Optional[FrozenSet[Tuple[str, str]]] = None) -> None:
+        self.strategy = strategy
+        self.script: List[list] = [list(d) for d in (script or [])]
+        self._cursor = 0
+        #: directed (src process, dst process) pairs whose sends are
+        #: perturbation decision points; empty set = no delay decisions
+        self.delay_links = delay_links or frozenset()
+        #: decisions actually taken this run, in occurrence order
+        self.trace: List[list] = []
+
+    # -- installation ------------------------------------------------------
+
+    def install(self, sim: Simulator, network: Optional[Network] = None) -> None:
+        if sim.controller is not None:
+            raise RuntimeError("simulator already has a controller attached")
+        sim.controller = self
+        if network is not None and self.delay_links:
+            if network.perturb is not None:
+                raise RuntimeError("network already has a perturbation hook")
+            network.perturb = self._perturb
+
+    # -- scripted-decision consumption -------------------------------------
+
+    def _next_scripted(self, kind: str):
+        """Next scripted value for *kind*, or None once off-script.
+
+        Decisions are consumed strictly in order; a kind mismatch means the
+        prefix diverged (normal during shrinking — a zeroed-out early
+        decision changes every later choice point), so the rest of the
+        script is abandoned and the strategy takes over.
+        """
+        if self._cursor >= len(self.script):
+            return None
+        decision = self.script[self._cursor]
+        if decision[0] != kind:
+            self._cursor = len(self.script)
+            return None
+        self._cursor += 1
+        return decision[2] if kind == TIE else decision[1]
+
+    # -- Simulator controller protocol -------------------------------------
+
+    def on_schedule(self, event: Event) -> None:
+        self.strategy.on_schedule(event)
+
+    def choose(self, time: float, events: List[Event]) -> int:
+        k = len(events)
+        choice = self._next_scripted(TIE)
+        if choice is None:
+            choice = self.strategy.choose_tie(time, events)
+        if not 0 <= choice < k:
+            # a shrunken/foreign script can name a branch that no longer
+            # exists; fall back to FIFO instead of crashing the replay
+            choice = 0
+        self.trace.append([TIE, k, choice])
+        return choice
+
+    # -- Network perturbation protocol --------------------------------------
+
+    def _perturb(self, src: str, dst: str) -> float:
+        if (src, dst) not in self.delay_links:
+            return 0.0
+        value = self._next_scripted(DELAY)
+        if value is None:
+            value = self.strategy.choose_delay(src, dst)
+        value = max(0.0, float(value))
+        self.trace.append([DELAY, value])
+        return value

@@ -1,0 +1,176 @@
+"""Invariant oracles evaluated on every explored schedule.
+
+Each oracle returns a list of human-readable violation strings; an empty
+list from every oracle means the schedule is a witness that the invariants
+held on that interleaving.  The FIFO/digest and causality oracles reuse
+the existing checkers (:class:`repro.analysis.runtime.HazardMonitor`,
+:class:`repro.verify.ExecutionLog`); the genuine-partial-replication
+oracle is new: it watches serializer-to-serializer traffic through the
+network trace and flags any label entering a tree branch with no
+interested datacenter (which would leak metadata the paper's §2 promises
+never leaves the interested sub-tree).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.core.label import LabelType
+from repro.core.serializer import interest_of
+from repro.datacenter.messages import LabelBatch
+
+__all__ = ["TraceTee", "PartialReplicationOracle", "evaluate_oracles"]
+
+
+class TraceTee:
+    """Fan one network trace slot out to several consumers.
+
+    :attr:`repro.sim.network.Network.trace` holds a single object; the
+    model checker needs both the :class:`HazardMonitor` (FIFO audit +
+    digest) and the partial-replication oracle watching the same stream.
+    The first trace is primary: its ``on_send`` sequence numbers are the
+    ones the network sees.
+    """
+
+    def __init__(self, *traces: Any) -> None:
+        if not traces:
+            raise ValueError("TraceTee needs at least one trace")
+        self.traces = traces
+
+    def on_send(self, src: str, dst: str, message: Any, arrival: float) -> int:
+        seq = self.traces[0].on_send(src, dst, message, arrival)
+        for trace in self.traces[1:]:
+            trace.on_send(src, dst, message, arrival)
+        return seq
+
+    def on_deliver(self, src: str, dst: str, seq: int, message: Any) -> None:
+        for trace in self.traces:
+            trace.on_deliver(src, dst, seq, message)
+
+    def on_drop(self, src: str, dst: str, message: Any) -> None:
+        for trace in self.traces:
+            trace.on_drop(src, dst, message)
+
+
+def _serializer_coords(process_name: str) -> Optional[Tuple[int, str]]:
+    """``"ser:e{epoch}:{tree_name}"`` -> (epoch, tree_name), else None."""
+    if not process_name.startswith("ser:e"):
+        return None
+    parts = process_name.split(":", 2)
+    if len(parts) != 3:
+        return None
+    try:
+        return int(parts[1][1:]), parts[2]
+    except ValueError:
+        return None
+
+
+class PartialReplicationOracle:
+    """Genuine partial replication: no label down an uninterested branch.
+
+    Implements the network trace protocol (installed through a
+    :class:`TraceTee`).  Two checks on every delivered label batch:
+
+    * serializer -> serializer: the label's interest set must intersect
+      the set of datacenters reachable through that edge of the epoch's
+      tree (otherwise the serializer leaked it into a dead branch);
+    * serializer -> datacenter: the receiving datacenter must be in the
+      label's interest set (origin excluded — a label never returns home).
+    """
+
+    def __init__(self, service, replication) -> None:
+        self.service = service
+        self.replication = replication
+        self.violations: List[str] = []
+
+    # -- network trace protocol (via TraceTee) ------------------------------
+
+    def on_send(self, src: str, dst: str, message: Any, arrival: float) -> None:
+        return None
+
+    def on_drop(self, src: str, dst: str, message: Any) -> None:
+        return None
+
+    def on_deliver(self, src: str, dst: str, seq: int, message: Any) -> None:
+        if not isinstance(message, LabelBatch):
+            return
+        src_coords = _serializer_coords(src)
+        if src_coords is None:
+            return  # sink -> serializer ingress: origin side, always legal
+        if dst.startswith("dc:"):
+            self._check_dc_delivery(src, dst[len("dc:"):], message)
+        else:
+            dst_coords = _serializer_coords(dst)
+            if dst_coords is not None:
+                self._check_tree_edge(src_coords, dst_coords, src, dst, message)
+
+    # -- checks -------------------------------------------------------------
+
+    def _check_dc_delivery(self, src: str, dc_name: str,
+                           batch: LabelBatch) -> None:
+        for label in batch.labels:
+            if label.origin_dc == dc_name:
+                self.violations.append(
+                    f"label {label!r} delivered back to its origin "
+                    f"datacenter {dc_name} by {src}")
+                continue
+            interested = interest_of(label, self.replication)
+            if dc_name not in interested:
+                self.violations.append(
+                    f"label {label!r} delivered to uninterested datacenter "
+                    f"{dc_name} by {src}")
+
+    def _check_tree_edge(self, src_coords: Tuple[int, str],
+                         dst_coords: Tuple[int, str], src: str, dst: str,
+                         batch: LabelBatch) -> None:
+        epoch, src_name = src_coords
+        _, dst_name = dst_coords
+        try:
+            topology = self.service.topology(epoch)
+            reachable = topology.reachable_dcs(src_name, dst_name)
+        except KeyError:
+            self.violations.append(
+                f"label batch on unknown tree edge {src} -> {dst}")
+            return
+        for label in batch.labels:
+            interested = interest_of(label, self.replication)
+            if not interested & reachable:
+                self.violations.append(
+                    f"label {label!r} traversed branch {src_name} -> "
+                    f"{dst_name} (epoch {epoch}) with no interested "
+                    f"datacenter (interest={sorted(interested)}, "
+                    f"branch={sorted(reachable)})")
+
+
+def evaluate_oracles(scenario) -> List[str]:
+    """Run every oracle against a finished scenario run.
+
+    Returns violation strings prefixed with the oracle name, most specific
+    first.  ``scenario`` is a built-and-run
+    :class:`repro.analysis.mc.scenario.Scenario`.
+    """
+    violations: List[str] = []
+
+    report = scenario.monitor.report()
+    for item in report.fifo_violations:
+        violations.append(f"fifo: {item.describe()}")
+
+    for item in scenario.monitor.crosscheck(scenario.log):
+        violations.append(f"causality: {item}")
+
+    violations.extend(
+        f"partial-replication: {item}"
+        for item in scenario.partial_oracle.violations)
+
+    for item in scenario.log.check_completeness():
+        violations.append(f"completeness: {item.detail} (at {item.dc})")
+
+    # a scenario that did no work proves nothing: guard against a schedule
+    # (or a bad mutation) silently starving the clients
+    updates = sum(1 for record in scenario.log.updates.values()
+                  if record.key and record.origin)
+    if updates < scenario.min_expected_updates:
+        violations.append(
+            f"liveness: only {updates} updates recorded, expected at least "
+            f"{scenario.min_expected_updates}")
+    return violations

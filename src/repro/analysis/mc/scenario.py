@@ -1,0 +1,354 @@
+"""Model-checking scenarios: small, fully deterministic deployments.
+
+A scenario is a hand-wired 3-datacenter Saturn cluster (chain serializer
+tree I — F — T, one group fully replicated and one genuinely partial)
+driven by *scripted* clients that build real causal chains across
+datacenters:
+
+* ``writer-I`` writes ``g0:a`` then ``g0:b`` (b depends on a) and the
+  partial-group key ``g1:p`` (replicated at I and F only — the bait for
+  the routing oracle);
+* ``relay-F`` polls ``g0:b`` until it is visible, then writes ``g0:y``
+  (y depends on b across datacenters);
+* ``reader-T`` polls ``g0:y``, then re-reads ``g0:a`` (session checks).
+
+Everything is deterministic given the schedule decisions, so a recorded
+decision list replays bit-identically.  The reconfiguration scenarios
+additionally swap the tree mid-run (fast path / failure path) while the
+above labels are in flight.
+
+``MUTATIONS`` are deliberate protocol bugs injected into one serializer —
+the checker's self-test: a healthy checker must catch every one of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.analysis.mc.oracles import PartialReplicationOracle, TraceTee
+from repro.analysis.runtime import HazardMonitor
+from repro.core.label import LabelType
+from repro.core.reconfig import ReconfigurationManager
+from repro.core.replication import ReplicationMap
+from repro.core.service import SaturnService
+from repro.core.tree import TreeTopology
+from repro.datacenter.client import ClientProcess
+from repro.datacenter.datacenter import DatacenterParams, SaturnDatacenter
+from repro.datacenter.messages import LabelBatch
+from repro.harness.runner import MetricsHub
+from repro.sim.clock import ClockFactory
+from repro.sim.cpu import CostModel
+from repro.sim.engine import Simulator
+from repro.sim.network import LatencyModel, Network
+from repro.sim.rng import RngRegistry
+from repro.verify.checker import ExecutionLog
+from repro.workloads.ops import ReadOp, UpdateOp
+
+__all__ = ["Scenario", "SCENARIOS", "MUTATIONS", "build_scenario"]
+
+SITES = ("I", "F", "T")
+
+#: keys used by the scripted workload
+KEY_A, KEY_B, KEY_Y, KEY_P = "g0:a", "g0:b", "g0:y", "g1:p"
+
+
+@dataclass
+class Scenario:
+    """A built (not yet run) model-checking deployment."""
+
+    name: str
+    sim: Simulator
+    network: Network
+    replication: ReplicationMap
+    service: SaturnService
+    datacenters: Dict[str, SaturnDatacenter]
+    clients: List[ClientProcess]
+    log: ExecutionLog
+    monitor: HazardMonitor
+    partial_oracle: PartialReplicationOracle
+    horizon: float
+    #: directed process-name pairs eligible for delay perturbation
+    delay_links: FrozenSet[Tuple[str, str]]
+    #: liveness floor: fewer recorded updates means the schedule starved
+    min_expected_updates: int = 4
+    manager: Optional[ReconfigurationManager] = None
+    mutation: Optional[str] = None
+
+    def run(self) -> None:
+        """Run to the horizon (install any controller hooks first)."""
+        self.sim.run(until=self.horizon)
+
+    def digest(self) -> str:
+        return self.monitor.trace_digest()
+
+
+# ---------------------------------------------------------------------------
+# scripted client workloads
+# ---------------------------------------------------------------------------
+
+def _scripted(ops: List[object]) -> Callable[[ClientProcess], object]:
+    """Issue *ops* in order, then stop."""
+    queue = list(ops)
+
+    def generator(client: ClientProcess) -> object:
+        return queue.pop(0) if queue else None
+
+    return generator
+
+
+def _poll_then(key: str, cap: int,
+               then: List[object]) -> Callable[[ClientProcess], object]:
+    """Re-read *key* until a version is observed (at most *cap* reads),
+    then issue *then* in order and stop.  The cap keeps every client
+    terminating under mutations that lose the awaited update."""
+    state = {"reads": 0}
+    queue = list(then)
+
+    def generator(client: ClientProcess) -> object:
+        if (client._observed_max_per_key.get(key) is None
+                and state["reads"] < cap):
+            state["reads"] += 1
+            return ReadOp(key)
+        return queue.pop(0) if queue else None
+
+    return generator
+
+
+# ---------------------------------------------------------------------------
+# builders
+# ---------------------------------------------------------------------------
+
+def _latency_model() -> LatencyModel:
+    model = LatencyModel(local_latency=0.25)
+    model.set("I", "F", 4.0)
+    model.set("F", "T", 6.0)
+    model.set("I", "T", 10.0)
+    return model
+
+
+def _chain_topology() -> TreeTopology:
+    return TreeTopology(
+        serializer_sites={"sI": "I", "sF": "F", "sT": "T"},
+        edges=[("sI", "sF"), ("sF", "sT")],
+        attachments={"I": "sI", "F": "sF", "T": "sT"},
+    )
+
+
+def _pivoted_topology() -> TreeTopology:
+    """The reconfiguration target C2: same leaves, I in the middle."""
+    return TreeTopology(
+        serializer_sites={"sI": "I", "sF": "F", "sT": "T"},
+        edges=[("sF", "sI"), ("sI", "sT")],
+        attachments={"I": "sI", "F": "sF", "T": "sT"},
+    )
+
+
+def _tree_links(topology: TreeTopology, epoch: int) -> List[Tuple[str, str]]:
+    """Directed serializer process-name pairs for every tree edge."""
+    links = []
+    for a, b in topology.edges:
+        name_a = SaturnService.serializer_process_name(epoch, a)
+        name_b = SaturnService.serializer_process_name(epoch, b)
+        links.append((name_a, name_b))
+        links.append((name_b, name_a))
+    return links
+
+
+def _build_chain3(name: str, horizon: float,
+                  reconfigure_at: Optional[float] = None,
+                  emergency: bool = False) -> Scenario:
+    sim = Simulator()
+    rng = RngRegistry(seed=11)
+    network = Network(sim, latency_model=_latency_model(),
+                      default_latency=0.25, rng=rng)
+    metrics = MetricsHub(sim)
+    clocks = ClockFactory(sim, rng, max_skew=0.5)
+    cost = CostModel()
+
+    replication = ReplicationMap(list(SITES))
+    replication.set_group("g0", SITES)
+    replication.set_group("g1", ("I", "F"))
+    log = ExecutionLog(replication)
+
+    c1 = _chain_topology()
+    service = SaturnService(sim, network, replication)
+    service.install_tree(c1, epoch=0)
+
+    datacenters: Dict[str, SaturnDatacenter] = {}
+    for site in SITES:
+        params = DatacenterParams(
+            name=site, site=site, num_partitions=2, consistency="saturn",
+            sink_batch_period=2.0, sink_heartbeat_period=8.0,
+            bulk_heartbeat_period=5.0)
+        dc = SaturnDatacenter(sim, params, replication, cost, clocks.create(),
+                              metrics=metrics, execution_log=log)
+        dc.attach_network(network)
+        network.place(dc.name, site)
+        dc.saturn = service
+        datacenters[site] = dc
+
+    # invariant instrumentation: HazardMonitor observes the kernel, and the
+    # network trace fans out to both the monitor and the routing oracle
+    monitor = HazardMonitor()
+    monitor.attach_sim(sim)
+    monitor.network = network
+    partial_oracle = PartialReplicationOracle(service, replication)
+    network.trace = TraceTee(monitor, partial_oracle)
+
+    specs = [
+        ("writer-I", "I", _scripted([UpdateOp(KEY_A, 2), UpdateOp(KEY_B, 2),
+                                     UpdateOp(KEY_P, 2)])),
+        ("relay-F", "F", _poll_then(KEY_B, cap=40,
+                                    then=[UpdateOp(KEY_Y, 2)])),
+        ("reader-T", "T", _poll_then(KEY_Y, cap=60,
+                                     then=[ReadOp(KEY_A)])),
+    ]
+    clients: List[ClientProcess] = []
+    for index, (client_id, site, generator) in enumerate(specs):
+        client = ClientProcess(sim, client_id, site, generator,
+                               metrics=metrics, execution_log=log)
+        client.attach_network(network)
+        network.place(client.name, site)
+        # stagger starts slightly (like the harness) so client attaches do
+        # not produce meaningless 3-way ties at t=0
+        sim.schedule(0.013 * index, client.start)
+        clients.append(client)
+
+    for dc in datacenters.values():
+        dc.start()
+
+    c2 = _pivoted_topology()
+    delay_links = set(_tree_links(c1, epoch=0))
+    manager: Optional[ReconfigurationManager] = None
+    if reconfigure_at is not None:
+        manager = ReconfigurationManager(service, list(datacenters.values()))
+        manager.schedule_reconfiguration(sim, reconfigure_at, c2,
+                                         emergency=emergency)
+        delay_links.update(_tree_links(c2, epoch=1))
+
+    return Scenario(
+        name=name, sim=sim, network=network, replication=replication,
+        service=service, datacenters=datacenters, clients=clients, log=log,
+        monitor=monitor, partial_oracle=partial_oracle, horizon=horizon,
+        delay_links=frozenset(delay_links), manager=manager)
+
+
+def _chain3() -> Scenario:
+    return _build_chain3("chain3", horizon=150.0)
+
+
+def _reconfig_chain3() -> Scenario:
+    # t=12 ms: the g0 labels are mid-tree when the epoch flips (fast path)
+    return _build_chain3("reconfig-chain3", horizon=250.0, reconfigure_at=12.0)
+
+
+def _reconfig_emergency() -> Scenario:
+    scenario = _build_chain3("reconfig-emergency", horizon=400.0,
+                             reconfigure_at=12.0, emergency=True)
+    # the failure path abandons C1: kill its serializers at the switch so
+    # the only way labels arrive is the timestamp fallback + C2
+    scenario.sim.schedule_at(
+        12.0, lambda: scenario.service.fail_tree(epoch=0))
+    return scenario
+
+
+SCENARIOS: Dict[str, Callable[[], Scenario]] = {
+    "chain3": _chain3,
+    "reconfig-chain3": _reconfig_chain3,
+    "reconfig-emergency": _reconfig_emergency,
+}
+
+
+# ---------------------------------------------------------------------------
+# mutations (checker self-test: each one must be caught)
+# ---------------------------------------------------------------------------
+
+def _mutate_drop_fifo(scenario: Scenario) -> None:
+    """Serializer sI forwards every batch with labels reversed — it stops
+    forwarding in arrival order, the §5.3 discipline the causal argument
+    rests on.  Caught by the causal-visibility oracle (b visible before
+    its dependency a)."""
+    serializer = scenario.service.serializers(0)["sI"]
+    original = serializer._route_batch
+
+    def reversed_route(batch: LabelBatch, came_from, sender) -> None:
+        mutated = LabelBatch(tuple(reversed(batch.labels)), epoch=batch.epoch)
+        original(mutated, came_from, sender)
+
+    serializer._route_batch = reversed_route
+
+
+def _mutate_drop_label(scenario: Scenario) -> None:
+    """Serializer sI silently drops the first update label it routes.
+    Caught by the completeness oracle (the update never becomes visible at
+    the interested remote datacenters) and by the causal oracle (its
+    dependents become visible without it)."""
+    serializer = scenario.service.serializers(0)["sI"]
+    original = serializer._route_batch
+    state = {"dropped": False}
+
+    def dropping_route(batch: LabelBatch, came_from, sender) -> None:
+        labels = batch.labels
+        if not state["dropped"]:
+            kept = []
+            for label in labels:
+                if not state["dropped"] and label.type is LabelType.UPDATE:
+                    state["dropped"] = True
+                    continue
+                kept.append(label)
+            if not kept:
+                return
+            batch = LabelBatch(tuple(kept), epoch=batch.epoch)
+        original(batch, came_from, sender)
+
+    serializer._route_batch = dropping_route
+
+
+def _mutate_leak_routing(scenario: Scenario) -> None:
+    """Serializer sF ignores interest sets and floods every direction —
+    genuine partial replication is gone.  Caught by the routing oracle the
+    moment a g1 label (replicated at I and F only) crosses the sF -> sT
+    branch."""
+    serializer = scenario.service.serializers(0)["sF"]
+
+    def leaky_route(batch: LabelBatch, came_from, sender) -> None:
+        total = len(batch.labels)
+        for neighbor, peer, _reachable, delay in serializer._out_edges:
+            if neighbor == came_from:
+                continue
+            serializer._forward(peer, batch, extra_delay=delay)
+            serializer.labels_forwarded += total
+        for dc, delivery in serializer._attached:
+            if delivery == sender:
+                continue
+            serializer._forward(delivery, batch)
+            serializer.labels_delivered += total
+
+    serializer._route_batch = leaky_route
+
+
+MUTATIONS: Dict[str, Callable[[Scenario], None]] = {
+    "drop-fifo": _mutate_drop_fifo,
+    "drop-label": _mutate_drop_label,
+    "leak-routing": _mutate_leak_routing,
+}
+
+
+def build_scenario(name: str, mutation: Optional[str] = None) -> Scenario:
+    """Build scenario *name*, optionally with a self-test mutation."""
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(f"unknown scenario {name!r}; "
+                         f"expected one of {sorted(SCENARIOS)}") from None
+    scenario = builder()
+    if mutation is not None:
+        try:
+            mutate = MUTATIONS[mutation]
+        except KeyError:
+            raise ValueError(f"unknown mutation {mutation!r}; "
+                             f"expected one of {sorted(MUTATIONS)}") from None
+        mutate(scenario)
+        scenario.mutation = mutation
+    return scenario

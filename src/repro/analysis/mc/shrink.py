@@ -1,0 +1,203 @@
+"""Delta-debugging shrinker and replayable counterexamples.
+
+A failing schedule is a decision list (see
+:mod:`repro.analysis.mc.controller`).  Most of those decisions are
+defaults (FIFO tie-break, zero delay) that merely record where a choice
+point occurred; the shrinker finds the minimal set of *non-default*
+decisions that still triggers the violation, using Zeller's ddmin over
+decision indices.
+
+Two invariants make shrinking sound here:
+
+* candidates **reset decisions to their default, never delete them** —
+  the script is consumed positionally, so removing a middle entry would
+  misalign every later decision with its choice point;
+* trailing defaults are truncated instead, because a controller that runs
+  off the end of its script falls back to the default strategy anyway.
+
+The surviving decisions plus the scenario name *are* the counterexample:
+:class:`Counterexample` serializes them (with the violation messages, the
+delivery-trace digest and a schedule hash) to JSON, and
+``python -m repro.analysis.mc --replay`` turns that file back into the
+identical execution.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.analysis.mc.controller import (DELAY, TIE, decisions_hash,
+                                          nondefault_count)
+
+__all__ = ["Counterexample", "shrink_decisions"]
+
+#: bump when the JSON layout changes incompatibly
+FORMAT_VERSION = 1
+
+
+def _is_default(decision: Sequence) -> bool:
+    if decision[0] == TIE:
+        return decision[2] == 0
+    if decision[0] == DELAY:
+        return decision[1] == 0.0
+    raise ValueError(f"unknown decision kind {decision[0]!r}")
+
+
+def _default_of(decision: Sequence) -> list:
+    if decision[0] == TIE:
+        return [TIE, decision[1], 0]
+    return [DELAY, 0.0]
+
+
+def _strip(decisions: Sequence[Sequence], keep: frozenset) -> List[list]:
+    """Reset every non-default decision not in *keep* to its default and
+    drop the (now meaningless) trailing run of defaults."""
+    out: List[list] = []
+    for index, decision in enumerate(decisions):
+        if index in keep or _is_default(decision):
+            out.append(list(decision))
+        else:
+            out.append(_default_of(decision))
+    while out and _is_default(out[-1]):
+        out.pop()
+    return out
+
+
+def shrink_decisions(
+    decisions: Sequence[Sequence],
+    test: Callable[[List[list]], Optional[List[str]]],
+) -> Optional[Tuple[List[list], List[str]]]:
+    """ddmin a failing decision list down to a minimal one.
+
+    ``test(candidate)`` re-runs the scenario under *candidate* and returns
+    the violation list if it still fails, else ``None``.  Returns the
+    minimal (decisions, violations) pair, or ``None`` if even the full
+    list no longer reproduces (a flaky oracle — worth surfacing loudly).
+    """
+    base = [list(d) for d in decisions]
+    nondefault = [i for i, d in enumerate(base) if not _is_default(d)]
+
+    # fast path: a schedule-independent failure (every seeded mutation, for
+    # one) shrinks straight to the empty script — ddmin from a decision-
+    # heavy randomized trace often cannot reach it, because intermediate
+    # half-schedules perturb timing enough to mask the bug
+    violations = test([])
+    if violations is not None:
+        return [], violations
+
+    keep = frozenset(nondefault)
+    violations = test(_strip(base, keep))
+    if violations is None:
+        return None
+    best = _strip(base, keep)
+
+    granularity = 2
+    while keep and granularity <= len(keep):
+        indices = sorted(keep)
+        chunk_size = max(1, len(indices) // granularity)
+        chunks = [indices[i:i + chunk_size]
+                  for i in range(0, len(indices), chunk_size)]
+        reduced = False
+        for chunk in chunks:
+            candidate_keep = keep - frozenset(chunk)
+            candidate = _strip(base, candidate_keep)
+            result = test(candidate)
+            if result is not None:
+                keep = candidate_keep
+                best, violations = candidate, result
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(keep):
+                break
+            granularity = min(len(keep), granularity * 2)
+    return best, violations
+
+
+@dataclass
+class Counterexample:
+    """A minimal, replayable failing schedule."""
+
+    scenario: str
+    mutation: Optional[str]
+    strategy: str
+    decisions: List[list]
+    violations: List[str]
+    digest: str
+    seed: Optional[int] = None
+    shrunk: bool = False
+    original_decision_count: int = 0
+    uses_delays: bool = field(init=False, default=False)
+    schedule_hash: str = field(init=False, default="")
+
+    def __post_init__(self) -> None:
+        self.uses_delays = any(d[0] == DELAY for d in self.decisions)
+        self.schedule_hash = decisions_hash(
+            self.scenario, self.mutation, self.decisions)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "format_version": FORMAT_VERSION,
+            "scenario": self.scenario,
+            "mutation": self.mutation,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "decisions": self.decisions,
+            "violations": self.violations,
+            "digest": self.digest,
+            "schedule_hash": self.schedule_hash,
+            "shrunk": self.shrunk,
+            "original_decision_count": self.original_decision_count,
+            "uses_delays": self.uses_delays,
+        }, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Counterexample":
+        data = json.loads(text)
+        version = data.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"counterexample format version {version!r} not supported "
+                f"(expected {FORMAT_VERSION})")
+        ce = cls(
+            scenario=data["scenario"],
+            mutation=data.get("mutation"),
+            strategy=data.get("strategy", "unknown"),
+            decisions=[list(d) for d in data["decisions"]],
+            violations=list(data.get("violations", ())),
+            digest=data.get("digest", ""),
+            seed=data.get("seed"),
+            shrunk=bool(data.get("shrunk", False)),
+            original_decision_count=int(
+                data.get("original_decision_count", 0)),
+        )
+        stored_hash = data.get("schedule_hash")
+        if stored_hash and stored_hash != ce.schedule_hash:
+            raise ValueError(
+                "counterexample schedule hash mismatch: file says "
+                f"{stored_hash}, decisions hash to {ce.schedule_hash}")
+        return ce
+
+    def summary(self) -> str:
+        lines = [
+            f"scenario      : {self.scenario}",
+            f"mutation      : {self.mutation or '-'}",
+            f"strategy      : {self.strategy}"
+            + (f" (seed {self.seed})" if self.seed is not None else ""),
+            f"decisions     : {len(self.decisions)} "
+            f"({nondefault_count(self.decisions)} non-default)"
+            + (f" (shrunk from {self.original_decision_count})"
+               if self.shrunk else ""),
+            f"schedule hash : {self.schedule_hash}",
+            f"trace digest  : {self.digest}",
+            f"violations    : {len(self.violations)}",
+        ]
+        lines.extend(f"  - {violation}" for violation in self.violations[:10])
+        if len(self.violations) > 10:
+            lines.append(f"  ... and {len(self.violations) - 10} more")
+        return "\n".join(lines)

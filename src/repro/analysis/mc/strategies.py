@@ -1,0 +1,114 @@
+"""Exploration strategies: who answers a schedule choice point.
+
+Three ways to walk the schedule space, mirroring the systematic-testing
+literature:
+
+* :class:`ExhaustiveStrategy` — plain FIFO beyond the forced prefix; the
+  checker's DFS driver (see :meth:`repro.analysis.mc.checker.ModelChecker.
+  sweep_exhaustive`) enumerates every tie-permutation of the first
+  ``depth`` choice points, so small configurations are covered completely.
+* :class:`PctStrategy` — PCT-style randomized priority schedules: every
+  event draws a random priority at schedule time, ties run the
+  highest-priority candidate, and ``change_points`` decisions are replaced
+  by a uniformly random pick (the priority-inversion points that give PCT
+  its bug-depth guarantee).
+* :class:`DelayInjectionStrategy` — targeted delay injection on tree
+  edges: sends on the scenario's serializer links are stretched by a
+  quantized amount within ``[0, bound]`` ms, which is how reconfiguration
+  races (labels in flight across an epoch boundary) are provoked.
+
+All randomness comes from a private ``random.Random(seed)`` so a strategy
+run is reproducible from ``(strategy, seed)`` alone — and the decision
+trace it leaves behind replays without any RNG at all.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.sim.engine import Event
+
+__all__ = ["FifoStrategy", "ExhaustiveStrategy", "PctStrategy",
+           "DelayInjectionStrategy"]
+
+
+class FifoStrategy:
+    """The kernel's own tie-break: lowest sequence number first.
+
+    Used as the baseline, as the replay strategy once a counterexample
+    script is exhausted, and as the base class for the others.
+    """
+
+    name = "fifo"
+
+    def on_schedule(self, event: Event) -> None:
+        """Nothing to track for FIFO."""
+
+    def choose_tie(self, time: float, events: List[Event]) -> int:
+        return 0
+
+    def choose_delay(self, src: str, dst: str) -> float:
+        return 0.0
+
+
+class ExhaustiveStrategy(FifoStrategy):
+    """FIFO beyond the forced prefix; the DFS driver does the branching."""
+
+    name = "exhaustive"
+
+
+class PctStrategy(FifoStrategy):
+    """Randomized priority schedules with priority-change points."""
+
+    name = "pct"
+
+    def __init__(self, seed: int, change_points: int = 3) -> None:
+        self._rng = random.Random(seed)
+        self.change_points = change_points
+        self._priority: Dict[int, float] = {}
+        self._decisions_seen = 0
+        #: decision indices at which priorities are ignored for one pick
+        self._inversions = frozenset(
+            self._rng.randrange(0, 256) for _ in range(change_points))
+
+    def on_schedule(self, event: Event) -> None:
+        self._priority[event.seq] = self._rng.random()
+
+    def choose_tie(self, time: float, events: List[Event]) -> int:
+        index = self._decisions_seen
+        self._decisions_seen += 1
+        if index in self._inversions:
+            return self._rng.randrange(len(events))
+        best, best_priority = 0, -1.0
+        for position, event in enumerate(events):
+            priority = self._priority.get(event.seq, 0.0)
+            if priority > best_priority:
+                best, best_priority = position, priority
+        return best
+
+
+class DelayInjectionStrategy(FifoStrategy):
+    """Stretch targeted link sends by a quantized bounded amount.
+
+    Quantization keeps the decision space small (a delta-debugged
+    counterexample names one of four values per send, not a float
+    continuum) while still crossing every batching/heartbeat boundary a
+    continuous delay could.
+    """
+
+    name = "delay"
+
+    def __init__(self, seed: int, bound: float = 3.0,
+                 injection_rate: float = 0.25) -> None:
+        if bound < 0:
+            raise ValueError("delay bound must be non-negative")
+        self._rng = random.Random(seed)
+        self.bound = bound
+        self.injection_rate = injection_rate
+        self._levels = (bound / 3.0, 2.0 * bound / 3.0, bound)
+
+    def choose_delay(self, src: str, dst: str) -> float:
+        if self.bound == 0.0 or self._rng.random() >= self.injection_rate:
+            return 0.0
+        return self._rng.choice(self._levels)

@@ -85,6 +85,18 @@ ALL_RULES: Tuple[Rule, ...] = (
             "argument depends on and executes at the wrong simulated time."
         ),
     ),
+    Rule(
+        code="SAT007",
+        title="heap entry without a deterministic tie-breaker",
+        rationale=(
+            "heapq compares tuple entries element by element; pushing "
+            "(priority, payload) lets two equal priorities fall through to "
+            "comparing payload objects — a TypeError for unorderable types, "
+            "or id()-flavored nondeterminism for orderable ones.  Push "
+            "(priority, seq, payload) where seq is a monotonic counter or "
+            "another total, deterministic key (e.g. a label's src)."
+        ),
+    ),
 )
 
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

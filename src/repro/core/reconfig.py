@@ -49,6 +49,17 @@ class ReconfigurationManager:
         self.last_epoch = epoch
         return epoch
 
+    def schedule_reconfiguration(self, sim, at: float,
+                                 new_topology: TreeTopology,
+                                 emergency: bool = False) -> None:
+        """Arrange for :meth:`reconfigure` to fire at simulated time *at*.
+
+        Convenience for scripted scenarios (tests, the model checker): the
+        switch happens mid-run, with labels in flight, which is the case
+        §6.2 is about."""
+        sim.schedule_at(at, lambda: self.reconfigure(new_topology,
+                                                     emergency=emergency))
+
     def complete(self) -> bool:
         """True once every datacenter has adopted the new epoch."""
         if self.last_epoch is None:

@@ -7,6 +7,7 @@ Installed as the ``saturn-repro`` console script::
     saturn-repro run fig5 --scale smoke --json out.json
     saturn-repro bench --system saturn     # one ad-hoc cluster run
     saturn-repro configure                 # print the M-configuration
+    saturn-repro mc --scenario chain3      # schedule-space model checking
 """
 
 from __future__ import annotations
@@ -73,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="run Algorithm 3 over the EC2 regions")
     conf.add_argument("--beam-width", type=int, default=8)
 
+    mc = sub.add_parser(
+        "mc", help="schedule-space model checking (repro.analysis.mc)",
+        add_help=False)
+    mc.add_argument("mc_args", nargs=argparse.REMAINDER,
+                    help="arguments forwarded to python -m repro.analysis.mc")
+
     return parser
 
 
@@ -107,6 +114,13 @@ def _jsonable(value):
 
 
 def main(argv: Optional[list] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "mc":
+        # forwarded before argparse sees it: REMAINDER cannot capture a
+        # leading --flag, and the model checker owns its own --help
+        from repro.analysis.mc.__main__ import main as mc_main
+        return mc_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
 
     if args.command == "list":

@@ -82,6 +82,14 @@ class Simulator:
         #: ``on_pop(event)``; both are called synchronously, so observers
         #: must not schedule events themselves.
         self.observer: Optional[Any] = None
+        #: optional schedule controller (see repro.analysis.mc.controller).
+        #: When set, it must provide ``on_schedule(event)`` and
+        #: ``choose(time, events) -> int``: whenever two or more live
+        #: events are ready at the same instant, ``choose`` picks which one
+        #: runs next (index into *events*, which is in (time, seq) order).
+        #: With no controller — or a controller that always returns 0 — the
+        #: execution is identical to the plain FIFO tie-break.
+        self.controller: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -116,6 +124,9 @@ class Simulator:
         observer = self.observer
         if observer is not None:
             observer.on_schedule(event)
+        controller = self.controller
+        if controller is not None:
+            controller.on_schedule(event)
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
@@ -130,11 +141,16 @@ class Simulator:
         observer = self.observer
         if observer is not None:
             observer.on_schedule(event)
+        controller = self.controller
+        if controller is not None:
+            controller.on_schedule(event)
         return event
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events until the heap drains, *until* is reached, or
         *max_events* have executed.  Returns the final simulated time."""
+        if self.controller is not None:
+            return self._run_controlled(until, max_events)
         heap = self._heap
         heappop = heapq.heappop
         executed = 0
@@ -155,6 +171,72 @@ class Simulator:
             if callback is None:
                 self._cancelled_in_heap -= 1
                 continue
+            event.callback = None
+            self._now = time
+            callback()
+            executed += 1
+        else:
+            if until is not None and self._now < until:
+                self._now = until
+        self._events_executed += executed
+        return self._now
+
+    def _run_controlled(self, until: Optional[float],
+                        max_events: Optional[int]) -> float:
+        """Run loop with a schedule controller attached.
+
+        Whenever two or more live events are ready at the minimal instant,
+        the whole tie group is popped and the controller picks which event
+        runs; the rest are pushed back with their original ``(time, seq)``
+        entries, so the next iteration re-asks the controller (including
+        any event the executed callback scheduled at the same instant).
+        A controller that always answers 0 reproduces the FIFO order of
+        the uncontrolled loop exactly.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        controller = self.controller
+        executed = 0
+        while heap:
+            if max_events is not None and executed >= max_events:
+                break
+            time = heap[0][0]
+            if until is not None and time > until:
+                self._now = until
+                break
+            # pop the whole tie group at `time` (exact float equality is
+            # deliberate: it is the kernel's own notion of "same instant")
+            candidates = []
+            while heap and heap[0][0] == time:  # noqa: SAT004
+                entry = heappop(heap)
+                event = entry[2]
+                if event.callback is None:
+                    self._cancelled_in_heap -= 1
+                    observer = self.observer
+                    if observer is not None:
+                        observer.on_pop(event)
+                    continue
+                candidates.append(entry)
+            if not candidates:
+                continue
+            if len(candidates) == 1:
+                chosen = candidates[0]
+            else:
+                index = controller.choose(time, [c[2] for c in candidates])
+                chosen = candidates[index]
+                for entry in candidates:
+                    if entry is not chosen:
+                        # restored entries never hit the observer: they were
+                        # not executed, so on_pop/on_schedule bookkeeping
+                        # (e.g. HazardMonitor tie counts) stays balanced;
+                        # `entry` is an already-formed (time, seq, event)
+                        heappush(heap, entry)  # noqa: SAT007
+            event = chosen[2]
+            observer = self.observer
+            if observer is not None:
+                observer.on_pop(event)
+            callback = event.callback
             event.callback = None
             self._now = time
             callback()

@@ -121,6 +121,12 @@ class Network:
         #: returning a per-link sequence number, plus ``on_deliver(src,
         #: dst, seq, message)`` and ``on_drop(src, dst, message)``.
         self.trace: Optional[Any] = None
+        #: optional bounded delay perturbation (see repro.analysis.mc).
+        #: When set, ``perturb(src, dst) -> float`` is called once per
+        #: message send and its (non-negative) result is added to the
+        #: arrival time.  The FIFO clamp below still applies, so link
+        #: discipline is preserved under any perturbation.
+        self.perturb: Optional[Any] = None
 
     # -- registration ------------------------------------------------------
 
@@ -208,6 +214,12 @@ class Network:
             return
         sim = self.sim
         arrival = sim.now + self._latency(src, dst, state)
+        perturb = self.perturb
+        if perturb is not None:
+            extra = perturb(src, dst)
+            if extra < 0:
+                raise ValueError("delay perturbation must be non-negative")
+            arrival += extra
         # FIFO: never deliver before a previously sent message on this link.
         if arrival < state.last_delivery:
             arrival = state.last_delivery

@@ -147,6 +147,29 @@ class ExecutionLog:
                             detail=(f"update {version} visible at {dc} before "
                                     f"its dependency {dep}"))
 
+    def check_completeness(self) -> List[Violation]:
+        """No update may be lost: every recorded update must have become
+        visible at every datacenter that replicates its key.
+
+        Separate from :meth:`check` because it is only sound once the run
+        has quiesced (labels still in flight at the horizon would be false
+        positives); the model checker's scenarios guarantee that, the
+        general harness does not.  Stub records (deps known but the origin
+        hook never fired) are skipped.
+        """
+        violations: List[Violation] = []
+        for version, record in sorted(self.updates.items()):
+            if not record.key or not record.origin:
+                continue
+            for dc in sorted(self.replication.replicas(record.key)):
+                if version not in self._visible_pos.get(dc, {}):
+                    violations.append(Violation(
+                        kind="completeness", dc=dc,
+                        detail=(f"update {version} of key {record.key!r} "
+                                f"(origin {record.origin}) never became "
+                                f"visible")))
+        return violations
+
     def _check_sessions(self):
         for client_id, dc, key, returned, observed_max in self._reads:
             if observed_max is None:

@@ -1,0 +1,35 @@
+"""Fixture: heap entries without a deterministic tie-breaker (SAT007)."""
+
+import heapq
+
+
+def lone_priority(heap, arrival):
+    heapq.heappush(heap, (arrival,))
+
+
+def payload_as_tiebreak(heap, arrival, message):
+    heapq.heappush(heap, (arrival, message))
+
+
+def opaque_entry(heap, entry):
+    heapq.heappush(heap, entry)
+
+
+def pushpop_without_tiebreak(heap, deadline, event):
+    return heapq.heappushpop(heap, (deadline, event))
+
+
+def good_counter(heap, arrival, seq, message):
+    heapq.heappush(heap, (arrival, seq, message))
+
+
+def good_label_key(heap, payload):
+    heapq.heappush(heap, (payload.label.ts, payload.label.src, payload))
+
+
+def good_subscript_key(heap, key, payload):
+    heapq.heappush(heap, (key[0], key[1], payload))
+
+
+def suppressed(heap, entry):
+    heapq.heappush(heap, entry)  # noqa: SAT007

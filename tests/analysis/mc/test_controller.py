@@ -1,0 +1,84 @@
+"""ScheduleController: decision recording, scripting, and kernel parity."""
+
+import pytest
+
+from repro.analysis.mc.controller import (DELAY, ScheduleController, TIE,
+                                          decisions_hash, nondefault_count)
+from repro.analysis.mc.scenario import build_scenario
+from repro.analysis.mc.strategies import FifoStrategy
+from repro.sim.engine import Simulator
+
+
+def test_controlled_fifo_run_matches_uncontrolled_run():
+    """An all-default controller must not change the execution at all."""
+    plain = build_scenario("chain3")
+    plain.run()
+
+    controlled = build_scenario("chain3")
+    controller = ScheduleController(FifoStrategy())
+    controller.install(controlled.sim, controlled.network)
+    controlled.run()
+
+    assert controlled.digest() == plain.digest()
+    # every recorded decision was the FIFO default
+    assert nondefault_count(controller.trace) == 0
+    assert len(controller.trace) > 0
+
+
+def test_scripted_tie_choice_flips_event_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(1.0, lambda: order.append("b"))
+    controller = ScheduleController(FifoStrategy(), script=[[TIE, 2, 1]])
+    controller.install(sim)
+    sim.run()
+    assert order == ["b", "a"]
+    assert controller.trace == [[TIE, 2, 1]]
+
+
+def test_out_of_range_scripted_choice_falls_back_to_fifo():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(1.0, lambda: order.append("b"))
+    controller = ScheduleController(FifoStrategy(), script=[[TIE, 2, 9]])
+    controller.install(sim)
+    sim.run()
+    assert order == ["a", "b"]
+    assert controller.trace == [[TIE, 2, 0]]
+
+
+def test_single_candidate_is_not_a_decision_point():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    controller = ScheduleController(FifoStrategy())
+    controller.install(sim)
+    sim.run()
+    assert controller.trace == []
+
+
+def test_install_refuses_second_controller():
+    sim = Simulator()
+    ScheduleController(FifoStrategy()).install(sim)
+    with pytest.raises(RuntimeError):
+        ScheduleController(FifoStrategy()).install(sim)
+
+
+def test_untargeted_links_are_not_decision_points():
+    controller = ScheduleController(
+        FifoStrategy(), delay_links=frozenset({("a", "b")}))
+    assert controller._perturb("x", "y") == 0.0
+    assert controller.trace == []
+    assert controller._perturb("a", "b") == 0.0
+    assert controller.trace == [[DELAY, 0.0]]
+
+
+def test_decisions_hash_is_stable_and_sensitive():
+    d1 = [[TIE, 2, 1], [DELAY, 1.5]]
+    h = decisions_hash("chain3", None, d1)
+    assert h == decisions_hash("chain3", None, [list(x) for x in d1])
+    assert h != decisions_hash("chain3", None, [[TIE, 2, 0], [DELAY, 1.5]])
+    assert h != decisions_hash("chain3", "drop-fifo", d1)
+    assert h != decisions_hash("reconfig-chain3", None, d1)

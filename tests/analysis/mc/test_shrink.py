@@ -1,0 +1,91 @@
+"""ddmin shrinker and counterexample serialization (no simulator needed)."""
+
+import pytest
+
+from repro.analysis.mc.controller import DELAY, TIE, nondefault_count
+from repro.analysis.mc.shrink import Counterexample, shrink_decisions
+
+
+def _decisions(choices):
+    return [[TIE, 4, c] for c in choices]
+
+
+def test_single_culprit_is_isolated():
+    """Failure iff decision #7 is non-default: everything else shrinks."""
+    base = _decisions([1, 2, 0, 3, 1, 0, 2, 3, 1, 2])
+
+    def test_fn(candidate):
+        if len(candidate) > 7 and candidate[7][2] == 3:
+            return ["boom"]
+        return None
+
+    result = shrink_decisions(base, test_fn)
+    assert result is not None
+    decisions, violations = result
+    assert violations == ["boom"]
+    # placeholders up to index 7 survive (alignment), nothing after
+    assert len(decisions) == 8
+    assert nondefault_count(decisions) == 1
+    assert decisions[7] == [TIE, 4, 3]
+
+
+def test_schedule_independent_failure_shrinks_to_empty():
+    base = _decisions([1, 2, 3, 1, 2])
+    result = shrink_decisions(base, lambda candidate: ["always"])
+    assert result == ([], ["always"])
+
+
+def test_unreproducible_failure_returns_none():
+    base = _decisions([1, 2])
+
+    def test_fn(candidate):
+        return None
+
+    assert shrink_decisions(base, test_fn) is None
+
+
+def test_two_culprits_both_survive():
+    base = _decisions([1, 0, 2, 0, 3, 0, 1, 2])
+
+    def test_fn(candidate):
+        ok = (len(candidate) > 4 and candidate[2][2] == 2
+              and candidate[4][2] == 3)
+        return ["pair"] if ok else None
+
+    result = shrink_decisions(base, test_fn)
+    assert result is not None
+    decisions, _ = result
+    assert nondefault_count(decisions) == 2
+    assert decisions[2] == [TIE, 4, 2]
+    assert decisions[4] == [TIE, 4, 3]
+
+
+def test_counterexample_json_roundtrip():
+    ce = Counterexample(
+        scenario="chain3", mutation="drop-fifo", strategy="pct",
+        decisions=[[TIE, 3, 1], [DELAY, 1.5]],
+        violations=["causality: x before y"],
+        digest="ab" * 32, seed=7, shrunk=True, original_decision_count=100)
+    loaded = Counterexample.from_json(ce.to_json())
+    assert loaded == ce
+    assert loaded.schedule_hash == ce.schedule_hash
+    assert loaded.uses_delays is True
+
+
+def test_counterexample_hash_mismatch_rejected():
+    ce = Counterexample(
+        scenario="chain3", mutation=None, strategy="fifo",
+        decisions=[[TIE, 3, 1]], violations=[], digest="")
+    tampered = ce.to_json().replace('"chain3"', '"chain3x"', 1)
+    # scenario is hashed: editing it invalidates the stored schedule hash
+    with pytest.raises(ValueError):
+        Counterexample.from_json(tampered)
+
+
+def test_counterexample_format_version_enforced():
+    ce = Counterexample(
+        scenario="chain3", mutation=None, strategy="fifo",
+        decisions=[], violations=[], digest="")
+    old = ce.to_json().replace('"format_version": 1', '"format_version": 0')
+    with pytest.raises(ValueError):
+        Counterexample.from_json(old)

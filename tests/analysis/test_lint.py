@@ -26,7 +26,8 @@ def codes_in(findings):
 
 def test_rule_catalogue_is_complete():
     assert [rule.code for rule in ALL_RULES] == [
-        "SAT001", "SAT002", "SAT003", "SAT004", "SAT005", "SAT006"]
+        "SAT001", "SAT002", "SAT003", "SAT004", "SAT005", "SAT006",
+        "SAT007"]
     for rule in ALL_RULES:
         assert rule.title and rule.rationale
 
@@ -59,6 +60,26 @@ def test_bad_sat006_fires_in_subclass_of_subclass():
     report = lint_paths([FIXTURES / "bad_sat006.py"])
     sat006 = [f for f in report.findings if f.code == "SAT006"]
     assert len(sat006) == 3
+
+
+def test_bad_sat007_flags_each_bad_push_and_accepts_good_ones():
+    report = lint_paths([FIXTURES / "bad_sat007.py"])
+    sat007 = [f for f in report.findings if f.code == "SAT007"]
+    # lone priority, payload tie-break, opaque entry, heappushpop — but
+    # not the counter/label-key/subscript pushes nor the noqa'd one
+    assert len(sat007) == 4
+    flagged_lines = {f.line for f in sat007}
+    good_lines = {23, 27, 31, 35}
+    assert not flagged_lines & good_lines
+
+
+def test_sat007_inline_variants():
+    assert codes_in(lint_source(
+        "import heapq\nheapq.heappush(h, (t, event))\n")) == {"SAT007"}
+    assert lint_source(
+        "import heapq\nheapq.heappush(h, (t, self._seq, event))\n") == []
+    assert lint_source(
+        "import heapq\nheapq.heappush(h, (label.ts, label.src))\n") == []
 
 
 def test_clean_fixture_has_no_findings():

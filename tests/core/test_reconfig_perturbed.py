@@ -1,0 +1,95 @@
+"""Epoch changes under perturbed schedules (§6.2).
+
+The reconfiguration scenarios flip the serializer tree at t=12 ms with the
+scripted workload's labels mid-flight.  Under randomized priorities and
+injected tree-edge delays, no schedule may lose or reorder those labels:
+the completeness and causality oracles check exactly that, and the
+transition itself must finish before the horizon.
+"""
+
+import pytest
+
+from repro.analysis.mc.checker import ModelChecker
+from repro.analysis.mc.controller import ScheduleController
+from repro.analysis.mc.scenario import build_scenario
+from repro.analysis.mc.strategies import (DelayInjectionStrategy,
+                                          FifoStrategy, PctStrategy)
+
+
+def test_fast_path_reconfiguration_completes_and_stays_causal():
+    scenario = build_scenario("reconfig-chain3")
+    scenario.run()
+    from repro.analysis.mc.oracles import evaluate_oracles
+    assert evaluate_oracles(scenario) == []
+    assert scenario.manager is not None
+    assert scenario.manager.complete(), "not every DC adopted the new epoch"
+    assert scenario.service.current_epoch == 1
+
+
+def test_emergency_reconfiguration_completes_and_stays_causal():
+    scenario = build_scenario("reconfig-emergency")
+    scenario.run()
+    from repro.analysis.mc.oracles import evaluate_oracles
+    assert evaluate_oracles(scenario) == []
+    assert scenario.manager is not None
+    assert scenario.manager.complete()
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_fast_path_under_randomized_priorities(seed):
+    outcome = ModelChecker("reconfig-chain3").run_once(PctStrategy(seed))
+    assert outcome.ok, outcome.violations
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_fast_path_under_injected_tree_delays(seed):
+    """Stretch serializer-edge sends around the epoch flip: in-flight
+    labels must still arrive exactly once, in causal order."""
+    outcome = ModelChecker("reconfig-chain3").run_once(
+        DelayInjectionStrategy(seed, bound=3.0, injection_rate=0.5),
+        use_delays=True)
+    assert outcome.ok, outcome.violations
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_emergency_path_under_injected_tree_delays(seed):
+    outcome = ModelChecker("reconfig-emergency").run_once(
+        DelayInjectionStrategy(seed, bound=3.0, injection_rate=0.5),
+        use_delays=True)
+    assert outcome.ok, outcome.violations
+
+
+def test_reconfiguration_completes_under_perturbation():
+    scenario = build_scenario("reconfig-chain3")
+    controller = ScheduleController(
+        DelayInjectionStrategy(9, bound=3.0, injection_rate=0.5),
+        delay_links=scenario.delay_links)
+    controller.install(scenario.sim, scenario.network)
+    scenario.run()
+    assert scenario.manager is not None
+    assert scenario.manager.complete()
+
+
+def test_exhaustive_ties_over_the_epoch_change():
+    result = ModelChecker("reconfig-chain3").sweep_exhaustive(
+        depth=2, max_runs=40)
+    assert result.ok, [o.violations for o in result.counterexamples]
+
+
+def test_schedule_reconfiguration_helper_fires_at_time():
+    scenario = build_scenario("chain3")
+    from repro.core.reconfig import ReconfigurationManager
+    from repro.core.tree import TreeTopology
+    manager = ReconfigurationManager(
+        scenario.service, list(scenario.datacenters.values()))
+    new_topology = TreeTopology(
+        serializer_sites={"sI": "I", "sF": "F", "sT": "T"},
+        edges=[("sF", "sI"), ("sI", "sT")],
+        attachments={"I": "sI", "F": "sF", "T": "sT"},
+    )
+    manager.schedule_reconfiguration(scenario.sim, 20.0, new_topology)
+    scenario.sim.run(until=15.0)
+    assert scenario.service.current_epoch == 0
+    scenario.sim.run(until=scenario.horizon)
+    assert scenario.service.current_epoch == 1
+    assert manager.complete()

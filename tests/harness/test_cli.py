@@ -54,3 +54,16 @@ def test_configure_command(capsys):
     out = capsys.readouterr().out
     assert "score" in out
     assert "edges" in out
+
+
+def test_mc_subcommand_forwards_to_model_checker(capsys):
+    assert main(["mc", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "chain3" in out
+    assert "drop-fifo" in out
+
+
+def test_mc_subcommand_clean_sweep(capsys):
+    assert main(["mc", "--scenario", "chain3", "--strategy", "exhaustive",
+                 "--depth", "2"]) == 0
+    assert "0 counterexample" in capsys.readouterr().out
