@@ -24,8 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.analysis.mc.controller import (DELAY, ScheduleController, TIE,
-                                          decisions_hash)
+from repro.analysis.mc.controller import (DELAY, FAULT, ScheduleController,
+                                          TIE, decisions_hash)
 from repro.analysis.mc.oracles import evaluate_oracles
 from repro.analysis.mc.scenario import build_scenario
 from repro.analysis.mc.shrink import Counterexample, shrink_decisions
@@ -106,6 +106,10 @@ class ModelChecker:
             strategy, script=script,
             delay_links=scenario.delay_links if use_delays else None)
         controller.install(scenario.sim, scenario.network)
+        if scenario.injector is not None:
+            # fault timing (FaultAction.at_choices) becomes a schedulable
+            # decision, recorded/replayed like ties
+            scenario.injector.chooser = controller
         scenario.run()
         return RunOutcome(
             scenario=self.scenario, mutation=self.mutation,
@@ -142,19 +146,20 @@ class ModelChecker:
                 if stop_on_first:
                     result.truncated = bool(stack)
                     break
-            # every tie at position >= len(prefix) ran its FIFO branch in
-            # this very run; push the sibling branches (choices 1..k-1),
-            # splicing in the executed decisions before that position
+            # every tie/fault point at position >= len(prefix) ran its
+            # default branch in this very run; push the sibling branches
+            # (choices 1..k-1), splicing in the executed decisions before
+            # that position
             trace = outcome.decisions
             for position in range(len(prefix), min(depth, len(trace))):
                 decision = trace[position]
-                if decision[0] != TIE:
+                if decision[0] not in (TIE, FAULT):
                     continue
                 k = decision[1]
                 for choice in range(1, k):
                     stack.append(
                         [list(d) for d in trace[:position]]
-                        + [[TIE, k, choice]])
+                        + [[decision[0], k, choice]])
         return result
 
     def sweep_pct(self, budget: int = 50, seed: int = 0,

@@ -8,7 +8,11 @@ every decision it makes as a flat list, in occurrence order:
 * ``["tie", k, choice]`` — *k* live events shared the minimal instant and
   the event at index *choice* (in ``(time, seq)`` order) ran next;
 * ``["delay", value]`` — a message send on a targeted link was delayed by
-  *value* extra milliseconds (bounded by the strategy).
+  *value* extra milliseconds (bounded by the strategy);
+* ``["fault", k, choice]`` — a fault action with *k* candidate instants
+  (``FaultAction.at_choices``) fired at candidate index *choice*.  Fault
+  decisions are resolved when the plan is applied, before the kernel
+  starts, so they form a stable prefix of the trace.
 
 The recorded list *is* the schedule: the scenario build is deterministic,
 so replaying the same decisions reproduces the execution bit-identically.
@@ -32,6 +36,7 @@ __all__ = ["ScheduleController", "decisions_hash", "nondefault_count"]
 #: decision kinds (list-encoded for JSON friendliness)
 TIE = "tie"
 DELAY = "delay"
+FAULT = "fault"
 
 
 def decisions_hash(scenario: str, mutation: Optional[str],
@@ -48,7 +53,7 @@ def nondefault_count(decisions: Sequence[list]) -> int:
     """Number of decisions that deviate from the FIFO/no-delay default."""
     count = 0
     for decision in decisions:
-        if decision[0] == TIE and decision[2] != 0:
+        if decision[0] in (TIE, FAULT) and decision[2] != 0:
             count += 1
         elif decision[0] == DELAY and decision[1] != 0.0:
             count += 1
@@ -97,7 +102,7 @@ class ScheduleController:
             self._cursor = len(self.script)
             return None
         self._cursor += 1
-        return decision[2] if kind == TIE else decision[1]
+        return decision[1] if kind == DELAY else decision[2]
 
     # -- Simulator controller protocol -------------------------------------
 
@@ -114,6 +119,18 @@ class ScheduleController:
             # exists; fall back to FIFO instead of crashing the replay
             choice = 0
         self.trace.append([TIE, k, choice])
+        return choice
+
+    # -- FaultInjector chooser protocol --------------------------------------
+
+    def choose_fault(self, name: str, k: int) -> int:
+        """Pick among *k* candidate fire instants for fault point *name*."""
+        choice = self._next_scripted(FAULT)
+        if choice is None:
+            choice = self.strategy.choose_fault(name, k)
+        if not 0 <= choice < k:
+            choice = 0
+        self.trace.append([FAULT, k, choice])
         return choice
 
     # -- Network perturbation protocol --------------------------------------

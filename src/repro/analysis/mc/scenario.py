@@ -28,6 +28,7 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.analysis.mc.oracles import PartialReplicationOracle, TraceTee
 from repro.analysis.runtime import HazardMonitor
+from repro.core.failover import AutoFailover
 from repro.core.label import LabelType
 from repro.core.reconfig import ReconfigurationManager
 from repro.core.replication import ReplicationMap
@@ -36,6 +37,8 @@ from repro.core.tree import TreeTopology
 from repro.datacenter.client import ClientProcess
 from repro.datacenter.datacenter import DatacenterParams, SaturnDatacenter
 from repro.datacenter.messages import LabelBatch
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultAction, FaultPlan
 from repro.harness.runner import MetricsHub
 from repro.sim.clock import ClockFactory
 from repro.sim.cpu import CostModel
@@ -45,12 +48,15 @@ from repro.sim.rng import RngRegistry
 from repro.verify.checker import ExecutionLog
 from repro.workloads.ops import ReadOp, UpdateOp
 
-__all__ = ["Scenario", "SCENARIOS", "MUTATIONS", "build_scenario"]
+__all__ = ["Scenario", "SCENARIOS", "MUTATIONS", "build_scenario",
+           "build_chain3"]
 
 SITES = ("I", "F", "T")
 
 #: keys used by the scripted workload
 KEY_A, KEY_B, KEY_Y, KEY_P = "g0:a", "g0:b", "g0:y", "g1:p"
+#: written while the writer's datacenter is degraded (fault scenarios)
+KEY_C = "g0:c"
 
 
 @dataclass
@@ -74,9 +80,17 @@ class Scenario:
     min_expected_updates: int = 4
     manager: Optional[ReconfigurationManager] = None
     mutation: Optional[str] = None
+    #: fault injection (repro.faults): the plan is applied at run start so
+    #: a controller installed in between can own the timing choices
+    injector: Optional[FaultInjector] = None
+    fault_plan: Optional[FaultPlan] = None
+    failover: Optional[AutoFailover] = None
 
     def run(self) -> None:
         """Run to the horizon (install any controller hooks first)."""
+        if (self.injector is not None and self.fault_plan is not None
+                and not self.injector.applied):
+            self.injector.apply(self.fault_plan)
         self.sim.run(until=self.horizon)
 
     def digest(self) -> str:
@@ -111,6 +125,28 @@ def _poll_then(key: str, cap: int,
             state["reads"] += 1
             return ReadOp(key)
         return queue.pop(0) if queue else None
+
+    return generator
+
+
+def _then_poll_then(first: List[object], key: str, cap: int,
+                    then: List[object]) -> Callable[[ClientProcess], object]:
+    """Issue *first*, poll *key* until visible (at most *cap* reads), then
+    issue *then*.  Lets a writer wait for a remote causal dependency before
+    continuing — the fault scenarios use it to write *during* degraded
+    mode."""
+    first_queue = list(first)
+    state = {"reads": 0}
+    then_queue = list(then)
+
+    def generator(client: ClientProcess) -> object:
+        if first_queue:
+            return first_queue.pop(0)
+        if (client._observed_max_per_key.get(key) is None
+                and state["reads"] < cap):
+            state["reads"] += 1
+            return ReadOp(key)
+        return then_queue.pop(0) if then_queue else None
 
     return generator
 
@@ -157,7 +193,18 @@ def _tree_links(topology: TreeTopology, epoch: int) -> List[Tuple[str, str]]:
 
 def _build_chain3(name: str, horizon: float,
                   reconfigure_at: Optional[float] = None,
-                  emergency: bool = False) -> Scenario:
+                  emergency: bool = False,
+                  specs: Optional[List[Tuple[str, str, Callable]]] = None,
+                  beacon_period: float = 0.0,
+                  dc_extra: Optional[dict] = None,
+                  auto_failover: bool = False,
+                  fault_plan: Optional[FaultPlan] = None,
+                  min_expected_updates: int = 4) -> Scenario:
+    """Build the chain3 deployment; the knobs beyond the reconfiguration
+    pair exist for the fault scenarios (repro.faults reuses this builder):
+    custom client scripts, serializer beacons + per-datacenter detector
+    parameters (``dc_extra`` merges into :class:`DatacenterParams`), the
+    automatic-recovery coordinator, and a scheduled fault plan."""
     sim = Simulator()
     rng = RngRegistry(seed=11)
     network = Network(sim, latency_model=_latency_model(),
@@ -172,7 +219,8 @@ def _build_chain3(name: str, horizon: float,
     log = ExecutionLog(replication)
 
     c1 = _chain_topology()
-    service = SaturnService(sim, network, replication)
+    service = SaturnService(sim, network, replication,
+                            beacon_period=beacon_period)
     service.install_tree(c1, epoch=0)
 
     datacenters: Dict[str, SaturnDatacenter] = {}
@@ -180,7 +228,7 @@ def _build_chain3(name: str, horizon: float,
         params = DatacenterParams(
             name=site, site=site, num_partitions=2, consistency="saturn",
             sink_batch_period=2.0, sink_heartbeat_period=8.0,
-            bulk_heartbeat_period=5.0)
+            bulk_heartbeat_period=5.0, **(dc_extra or {}))
         dc = SaturnDatacenter(sim, params, replication, cost, clocks.create(),
                               metrics=metrics, execution_log=log)
         dc.attach_network(network)
@@ -196,14 +244,16 @@ def _build_chain3(name: str, horizon: float,
     partial_oracle = PartialReplicationOracle(service, replication)
     network.trace = TraceTee(monitor, partial_oracle)
 
-    specs = [
-        ("writer-I", "I", _scripted([UpdateOp(KEY_A, 2), UpdateOp(KEY_B, 2),
-                                     UpdateOp(KEY_P, 2)])),
-        ("relay-F", "F", _poll_then(KEY_B, cap=40,
-                                    then=[UpdateOp(KEY_Y, 2)])),
-        ("reader-T", "T", _poll_then(KEY_Y, cap=60,
-                                     then=[ReadOp(KEY_A)])),
-    ]
+    if specs is None:
+        specs = [
+            ("writer-I", "I", _scripted([UpdateOp(KEY_A, 2),
+                                         UpdateOp(KEY_B, 2),
+                                         UpdateOp(KEY_P, 2)])),
+            ("relay-F", "F", _poll_then(KEY_B, cap=40,
+                                        then=[UpdateOp(KEY_Y, 2)])),
+            ("reader-T", "T", _poll_then(KEY_Y, cap=60,
+                                         then=[ReadOp(KEY_A)])),
+        ]
     clients: List[ClientProcess] = []
     for index, (client_id, site, generator) in enumerate(specs):
         client = ClientProcess(sim, client_id, site, generator,
@@ -221,17 +271,34 @@ def _build_chain3(name: str, horizon: float,
     c2 = _pivoted_topology()
     delay_links = set(_tree_links(c1, epoch=0))
     manager: Optional[ReconfigurationManager] = None
-    if reconfigure_at is not None:
+    if reconfigure_at is not None or auto_failover or fault_plan is not None:
         manager = ReconfigurationManager(service, list(datacenters.values()))
+    if reconfigure_at is not None:
         manager.schedule_reconfiguration(sim, reconfigure_at, c2,
                                          emergency=emergency)
         delay_links.update(_tree_links(c2, epoch=1))
+    failover: Optional[AutoFailover] = None
+    if auto_failover:
+        failover = AutoFailover(manager)
+        for dc in datacenters.values():
+            if dc.failover is not None:
+                dc.failover.coordinator = failover
+    injector: Optional[FaultInjector] = None
+    if fault_plan is not None:
+        injector = FaultInjector(sim, network, service=service,
+                                 manager=manager)
 
     return Scenario(
         name=name, sim=sim, network=network, replication=replication,
         service=service, datacenters=datacenters, clients=clients, log=log,
         monitor=monitor, partial_oracle=partial_oracle, horizon=horizon,
-        delay_links=frozenset(delay_links), manager=manager)
+        delay_links=frozenset(delay_links), manager=manager,
+        min_expected_updates=min_expected_updates,
+        injector=injector, fault_plan=fault_plan, failover=failover)
+
+
+#: public alias for the fault-scenario catalog (repro.faults.scenarios)
+build_chain3 = _build_chain3
 
 
 def _chain3() -> Scenario:
@@ -253,10 +320,44 @@ def _reconfig_emergency() -> Scenario:
     return scenario
 
 
+def _crash_chain3() -> Scenario:
+    """Serializer sI crashes mid-stream — *when* is a schedulable FAULT
+    decision (four candidate instants bracketing the label flow) — then
+    restarts at t=45.  The beacon detector degrades I to the timestamp
+    fallback, I keeps writing while degraded (``g0:c`` parks in the sink),
+    and the restarted serializer's beacon triggers the coordinator's
+    emergency epoch change, which replays the backlog through the new
+    tree.  The oracles check the whole arc: nothing lost, nothing
+    misordered, every client terminates."""
+    specs = [
+        ("writer-I", "I", _then_poll_then(
+            [UpdateOp(KEY_A, 2), UpdateOp(KEY_B, 2), UpdateOp(KEY_P, 2)],
+            KEY_Y, cap=300, then=[UpdateOp(KEY_C, 2)])),
+        ("relay-F", "F", _poll_then(KEY_B, cap=200,
+                                    then=[UpdateOp(KEY_Y, 2)])),
+        ("reader-T", "T", _poll_then(KEY_Y, cap=200,
+                                     then=[ReadOp(KEY_A)])),
+    ]
+    plan = FaultPlan(name="crash-chain3", actions=(
+        FaultAction(kind="crash-serializer",
+                    at_choices=(6.0, 9.0, 12.0, 15.0),
+                    args={"tree": "sI", "epoch": 0}),
+        FaultAction(kind="restart-serializer", at=45.0,
+                    args={"tree": "sI", "epoch": 0}),
+    ))
+    return _build_chain3(
+        "crash-chain3", horizon=260.0, specs=specs, beacon_period=2.0,
+        dc_extra=dict(beacon_timeout=7.0, stabilization_wait=4.0,
+                      probe_period=4.0, probe_backoff=2.0,
+                      probe_period_max=16.0),
+        auto_failover=True, fault_plan=plan, min_expected_updates=5)
+
+
 SCENARIOS: Dict[str, Callable[[], Scenario]] = {
     "chain3": _chain3,
     "reconfig-chain3": _reconfig_chain3,
     "reconfig-emergency": _reconfig_emergency,
+    "crash-chain3": _crash_chain3,
 }
 
 

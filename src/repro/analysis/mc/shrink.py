@@ -28,7 +28,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.analysis.mc.controller import (DELAY, TIE, decisions_hash,
+from repro.analysis.mc.controller import (DELAY, FAULT, TIE, decisions_hash,
                                           nondefault_count)
 
 __all__ = ["Counterexample", "shrink_decisions"]
@@ -38,7 +38,7 @@ FORMAT_VERSION = 1
 
 
 def _is_default(decision: Sequence) -> bool:
-    if decision[0] == TIE:
+    if decision[0] in (TIE, FAULT):
         return decision[2] == 0
     if decision[0] == DELAY:
         return decision[1] == 0.0
@@ -46,8 +46,8 @@ def _is_default(decision: Sequence) -> bool:
 
 
 def _default_of(decision: Sequence) -> list:
-    if decision[0] == TIE:
-        return [TIE, decision[1], 0]
+    if decision[0] in (TIE, FAULT):
+        return [decision[0], decision[1], 0]
     return [DELAY, 0.0]
 
 

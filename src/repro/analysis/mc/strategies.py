@@ -51,6 +51,9 @@ class FifoStrategy:
     def choose_delay(self, src: str, dst: str) -> float:
         return 0.0
 
+    def choose_fault(self, name: str, k: int) -> int:
+        return 0
+
 
 class ExhaustiveStrategy(FifoStrategy):
     """FIFO beyond the forced prefix; the DFS driver does the branching."""
@@ -86,6 +89,9 @@ class PctStrategy(FifoStrategy):
             if priority > best_priority:
                 best, best_priority = position, priority
         return best
+
+    def choose_fault(self, name: str, k: int) -> int:
+        return self._rng.randrange(k)
 
 
 class DelayInjectionStrategy(FifoStrategy):

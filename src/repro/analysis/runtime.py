@@ -219,14 +219,42 @@ class HazardMonitor:
             f"{now!r}|{src}|{dst}|{type(message).__name__}".encode())
         if isinstance(message, LabelBatch):
             self._labels_delivered += len(message.labels)
-            if dst.startswith("dc:"):
-                self._label_streams.setdefault(dst, []).extend(message.labels)
+            # replayed batches (sink backlog re-sent after an emergency
+            # epoch change) merge several origins' recovery traffic through
+            # the new tree, so their arrival order carries no ordering
+            # guarantee — visibility during recovery is justified by the
+            # timestamp fallback + dedup, not by delivery order.  The same
+            # goes for batches the receiving proxy will not feed through
+            # the saturn-order pipeline at all (abandoned-tree remnants
+            # arriving during the timestamp fallback, e.g. the flood
+            # released when a partition heals after an emergency switch).
+            # Both still count above and feed the determinism digest below.
+            if dst.startswith("dc:") and not message.replayed:
+                if self._proxy_consumes_order(dst, message.epoch):
+                    self._label_streams.setdefault(dst, []).extend(
+                        message.labels)
             for label in message.labels:
                 self._digest.update(
                     f"|{label.ts!r}|{label.src}|{label.type.value}".encode())
 
+    def _proxy_consumes_order(self, dst: str, epoch: int) -> bool:
+        """Ask the destination datacenter's proxy (when reachable through
+        the network registry) whether this batch enters its saturn-order
+        pipeline; assume yes for non-datacenter receivers."""
+        if self.network is None:
+            return True
+        try:
+            process = self.network.process(dst)
+        except KeyError:  # pragma: no cover - defensive
+            return True
+        proxy = getattr(process, "proxy", None)
+        if proxy is None or not hasattr(proxy, "consumes_label_order"):
+            return True
+        return proxy.consumes_label_order(epoch)
+
     def on_drop(self, src: str, dst: str, message: Any) -> None:
-        """A partitioned link swallowed a message; nothing to assert."""
+        """A lossy link extension swallowed a message; nothing to assert
+        (the built-in fault model holds messages across outages instead)."""
 
     # -- cross-checking against the offline causality checker -------------
 

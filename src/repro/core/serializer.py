@@ -31,7 +31,7 @@ from typing import Callable, Dict, FrozenSet, List, Optional
 from repro.core.label import Label, LabelType
 from repro.core.replication import ReplicationMap
 from repro.core.tree import TreeTopology
-from repro.datacenter.messages import LabelBatch, Ping, Pong
+from repro.datacenter.messages import LabelBatch, Ping, Pong, SerializerBeacon
 from repro.sim.engine import Simulator
 from repro.sim.process import Process
 
@@ -91,6 +91,8 @@ class Serializer(Process):
         self._alive_replicas = self.chain_length
         self.labels_forwarded = 0
         self.labels_delivered = 0
+        self.beacon_period = 0.0
+        self._beacon_timer = None
         # Routing tables are static per epoch (reconfiguration installs a
         # fresh tree of serializers), so resolve them once instead of on
         # every batch: outgoing directions as (neighbor, peer process,
@@ -108,6 +110,44 @@ class Serializer(Process):
         self._peer_of = {neighbor: peer for neighbor, peer, _, _ in self._out_edges}
         self._delay_of = {neighbor: delay for neighbor, _, _, delay in self._out_edges}
         self._delivery_of = dict(self._attached)
+
+    # -- liveness beacons ---------------------------------------------------
+
+    def start_beacons(self, period: float) -> None:
+        """Emit a :class:`SerializerBeacon` to each attached sink every
+        *period* ms.  Safe to call again after a restart: the previous
+        timer chain is cancelled first (a tick that fired while crashed
+        stopped rescheduling, but one armed *before* the crash may still
+        be pending, and two chains would double the beacon rate)."""
+        if self._beacon_timer is not None:
+            self._beacon_timer.cancel()
+            self._beacon_timer = None
+        self.beacon_period = period
+        if period > 0 and self._attached:
+            self._beacon_timer = self.every(period, self._beacon)
+
+    def _beacon(self) -> None:
+        beacon = SerializerBeacon(epoch=self.epoch, tree_name=self.tree_name,
+                                  ts=self.sim.now, incarnation=self.restarts)
+        for _, delivery in self._attached:
+            self.send(delivery, beacon)
+
+    def on_restart(self) -> None:
+        """Fail-recover: the chain comes back at full strength with empty
+        volatile state (in-flight labels died with the crash; sinks replay
+        what the resurrected tree must re-propagate)."""
+        self._alive_replicas = self.chain_length
+        if self.beacon_period > 0:
+            self.start_beacons(self.beacon_period)
+            # Announce the new incarnation *now*, not a beacon period from
+            # now: the resurrected serializer starts forwarding labels
+            # immediately, and the sinks' channels are FIFO, so sending the
+            # beacon first guarantees every attached detector learns about
+            # the state loss before it can process a single post-restart
+            # label.  Without this, a label whose causal dependencies died
+            # with the old incarnation slips through during the window
+            # between restart and the first periodic beacon.
+            self._beacon()
 
     # -- fault injection ---------------------------------------------------
 
@@ -172,7 +212,8 @@ class Serializer(Process):
             if len(routed) == total:
                 out = batch
             else:
-                out = LabelBatch(tuple(routed), epoch=batch.epoch)
+                out = LabelBatch(tuple(routed), epoch=batch.epoch,
+                                 replayed=batch.replayed)
             self._forward(self._peer_of[neighbor], out,
                           extra_delay=self._delay_of[neighbor])
             self.labels_forwarded += len(routed)
@@ -180,7 +221,8 @@ class Serializer(Process):
             if len(routed) == total:
                 out = batch
             else:
-                out = LabelBatch(tuple(routed), epoch=batch.epoch)
+                out = LabelBatch(tuple(routed), epoch=batch.epoch,
+                                 replayed=batch.replayed)
             self._forward(self._delivery_of[dc], out)
             self.labels_delivered += len(routed)
 

@@ -25,12 +25,16 @@ class SaturnService:
 
     def __init__(self, sim: Simulator, network: Network,
                  replication: ReplicationMap, chain_length: int = 1,
-                 local_hop_latency: float = 0.3) -> None:
+                 local_hop_latency: float = 0.3,
+                 beacon_period: float = 0.0) -> None:
         self.sim = sim
         self.network = network
         self.replication = replication
         self.chain_length = chain_length
         self.local_hop_latency = local_hop_latency
+        #: liveness-beacon period for every serializer (0 disables; see
+        #: repro.datacenter.failover for the matching detector).
+        self.beacon_period = beacon_period
         self._trees: Dict[int, Tuple[TreeTopology, Dict[str, Serializer]]] = {}
         self.current_epoch = 0
 
@@ -44,6 +48,13 @@ class SaturnService:
         """Create the serializer processes of *topology* for *epoch*."""
         if epoch in self._trees:
             raise ValueError(f"epoch {epoch} already installed")
+        # Epoch changes invalidate both memoizations that assume a static
+        # tree: interest sets cached on the replication map (their universe
+        # of datacenters may differ under the new attachment/replication
+        # view) and the routing views cached on the topology (stale if the
+        # caller repaired a topology by mutating its fields in place).
+        self.replication.interest_cache.clear()
+        topology.rebuild_routing()
 
         def peer_name(tree_name: str, _epoch: int = epoch) -> str:
             return self.serializer_process_name(_epoch, tree_name)
@@ -64,6 +75,7 @@ class SaturnService:
             )
             proc.attach_network(self.network)
             self.network.place(proc.name, site)
+            proc.start_beacons(self.beacon_period)
             processes[tree_name] = proc
         self._trees[epoch] = (topology, processes)
 
@@ -108,3 +120,14 @@ class SaturnService:
         epoch = self.current_epoch if epoch is None else epoch
         for serializer in self._trees[epoch][1].values():
             serializer.fail()
+
+    def restart_serializer(self, tree_name: str,
+                           epoch: Optional[int] = None) -> None:
+        """Fail-recover one serializer group (no-op if it never crashed)."""
+        epoch = self.current_epoch if epoch is None else epoch
+        self._trees[epoch][1][tree_name].restart()
+
+    def restart_tree(self, epoch: Optional[int] = None) -> None:
+        epoch = self.current_epoch if epoch is None else epoch
+        for tree_name in sorted(self._trees[epoch][1]):
+            self._trees[epoch][1][tree_name].restart()

@@ -164,6 +164,19 @@ class TreeTopology:
             self._routing[serializer] = view
         return view
 
+    def rebuild_routing(self) -> None:
+        """Re-derive every memoized structure from the public fields.
+
+        Reconfiguration normally builds a fresh :class:`TreeTopology`, but a
+        repaired tree is sometimes produced by mutating ``attachments`` /
+        ``edges`` / ``delays`` of a copy in place.  Any such mutation makes
+        ``_reachable`` and the cached :class:`SerializerRouting` views stale
+        — and serializers resolve their routing from here at construction —
+        so callers installing a mutated topology must rebuild first.
+        ``SaturnService.install_tree`` does this on every epoch change.
+        """
+        self.__post_init__()
+
     # -- paths (used by the configuration solver and tests) ---------------------
 
     def serializer_path(self, dc_from: str, dc_to: str) -> List[str]:

@@ -25,10 +25,12 @@ from repro.core.label import Label, LabelType
 from repro.core.replication import ReplicationMap
 from repro.datacenter.frontend import Frontend
 from repro.datacenter.gear import Gear
+from repro.datacenter.failover import SinkFailoverDetector
 from repro.datacenter.label_sink import LabelSink
 from repro.datacenter.messages import (BulkHeartbeat, ClientAttach,
                                        ClientMigrate, ClientRead, ClientUpdate,
-                                       LabelBatch, Ping, Pong, RemotePayload)
+                                       LabelBatch, Ping, Pong, RemotePayload,
+                                       SerializerBeacon)
 from repro.datacenter.remote_proxy import RemoteProxy
 from repro.datacenter.storage import PartitionedStore
 from repro.sim.clock import PhysicalClock
@@ -66,10 +68,33 @@ class DatacenterParams:
     #: a ping counts as missed only after this long without a pong; must
     #: exceed the worst round trip to the ingress serializer
     ping_timeout: float = 400.0
+    #: push-based failure detection: suspect the tree attachment after this
+    #: long without a SerializerBeacon (0 disables the detector; pair with
+    #: SaturnService(beacon_period=...) — see repro.datacenter.failover)
+    beacon_timeout: float = 0.0
+    #: suspicion -> degraded delay (a late beacon within it clears suspicion)
+    stabilization_wait: float = 4.0
+    #: probing of the dead attachment while degraded, with backoff
+    probe_period: float = 4.0
+    probe_backoff: float = 2.0
+    probe_period_max: float = 30.0
+    #: fast-path epoch changes stuck longer than this fall back to the
+    #: failure path (0 disables; see RemoteProxy._escalate_transition)
+    transition_timeout: float = 0.0
+    #: how far back (ms) the sink re-sends labels on an emergency epoch
+    #: change; -1 auto-sizes from the detection window, 0 disables replay
+    label_replay_window: float = -1.0
 
     def __post_init__(self) -> None:
         if self.consistency not in ("saturn", "timestamp", "eventual"):
             raise ValueError(f"unknown consistency {self.consistency!r}")
+        if self.label_replay_window < 0:
+            # must cover everything possibly swallowed by a dead tree:
+            # labels sent after the crash but before degradation (detection
+            # window) plus slack for propagation and probe/recovery delays
+            self.label_replay_window = (
+                2.0 * (self.beacon_timeout + self.stabilization_wait) + 20.0
+                if self.beacon_timeout > 0 else 0.0)
 
 
 class SaturnDatacenter(Process):
@@ -95,8 +120,18 @@ class SaturnDatacenter(Process):
         self.proxy = RemoteProxy(
             self, mode=self._proxy_mode(),
             parallel_concurrent=params.parallel_concurrent_apply)
+        self.proxy.transition_timeout = params.transition_timeout
         self.sink = LabelSink(self, batch_period=params.sink_batch_period,
-                              heartbeat_period=params.sink_heartbeat_period)
+                              heartbeat_period=params.sink_heartbeat_period,
+                              replay_window=params.label_replay_window)
+        self.failover: Optional[SinkFailoverDetector] = None
+        if params.beacon_timeout > 0 and self.consistency == "saturn":
+            self.failover = SinkFailoverDetector(
+                self, beacon_timeout=params.beacon_timeout,
+                stabilization_wait=params.stabilization_wait,
+                probe_period=params.probe_period,
+                probe_backoff=params.probe_backoff,
+                probe_period_max=params.probe_period_max)
 
         #: wired by the harness: the Saturn metadata service (tree mode only)
         self.saturn: Optional["SaturnService"] = None
@@ -122,6 +157,8 @@ class SaturnDatacenter(Process):
         if (self.params.ping_period > 0 and self.consistency == "saturn"
                 and self.saturn is not None):
             self.every(self.params.ping_period, self._ping_saturn)
+        if self.failover is not None and self.saturn is not None:
+            self.failover.start()
 
     # ------------------------------------------------------------------
     # message dispatch
@@ -145,6 +182,11 @@ class SaturnDatacenter(Process):
             self.proxy.on_labels(message)
         elif isinstance(message, Pong):
             self._outstanding_pings.pop(message.seq, None)
+            if self.failover is not None:
+                self.failover.on_pong(message.seq)
+        elif isinstance(message, SerializerBeacon):
+            if self.failover is not None:
+                self.failover.on_beacon(message)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unexpected message {message!r}")
 
@@ -191,13 +233,15 @@ class SaturnDatacenter(Process):
             if dc != self.dc_name:
                 self.send(dc_process_name(dc), heartbeat)
 
-    def send_to_saturn(self, labels: Sequence[Label]) -> None:
+    def send_to_saturn(self, labels: Sequence[Label],
+                       replayed: bool = False) -> None:
         if self.consistency != "saturn" or self.saturn is None:
             return
         ingress = self.saturn.ingress_process(self.dc_name, self.sink_epoch)
         if ingress is None:
             return
-        self.send(ingress, LabelBatch(tuple(labels), epoch=self.sink_epoch))
+        self.send(ingress, LabelBatch(tuple(labels), epoch=self.sink_epoch,
+                                      replayed=replayed))
 
     # ------------------------------------------------------------------
     # reconfiguration (§6.2)
@@ -212,6 +256,13 @@ class SaturnDatacenter(Process):
             self.sink.add(label)
             self.sink.flush()
         self.sink_epoch = new_epoch
+        if self.failover is not None:
+            self.failover.on_switch(new_epoch)
+        if emergency:
+            # re-propagate through C2 whatever the dead tree may have
+            # swallowed: the parked backlog plus the recent-send window
+            # (duplicates are discarded by the remote proxies' dedup)
+            self.sink.replay_recent()
         self.proxy.begin_transition(new_epoch, emergency=emergency)
 
     # ------------------------------------------------------------------

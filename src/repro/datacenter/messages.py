@@ -16,6 +16,7 @@ __all__ = [
     "ClientAttach", "ClientRead", "ClientUpdate", "ClientMigrate",
     "AttachOk", "ReadReply", "UpdateReply", "MigrateReply",
     "RemotePayload", "BulkHeartbeat", "LabelBatch", "StabilizationMsg",
+    "Ping", "Pong", "SerializerBeacon",
 ]
 
 
@@ -117,6 +118,10 @@ class LabelBatch:
     labels: Tuple[Label, ...]
     #: id of the tree configuration that carried the batch (epoch changes)
     epoch: int = 0
+    #: True when the batch is a sink replay after an emergency epoch change:
+    #: it may repeat labels the receiver already processed, so proxies relax
+    #: their dedup for these labels (see RemoteProxy._pump_saturn)
+    replayed: bool = False
 
 
 # -- stabilization (GentleRain / Cure baselines) -------------------------------
@@ -141,3 +146,23 @@ class Ping:
 @dataclass(frozen=True)
 class Pong:
     seq: int
+
+
+@dataclass(frozen=True)
+class SerializerBeacon:
+    """Periodic liveness beacon from a serializer to its attached sinks.
+
+    Push-style complement to Ping/Pong: each datacenter's failure detector
+    expects a beacon every ``beacon_period`` ms and raises suspicion after
+    ``beacon_timeout`` ms of silence (see repro.datacenter.failover).
+
+    ``incarnation`` counts fail-recover cycles of the sending serializer.
+    A beacon with a higher incarnation than previously seen proves the
+    tree crashed and lost its volatile state — *liveness* evidence is not
+    *continuity* evidence, and the detector must force the recovery path
+    even if the beacon arrives before the silence was ever noticed."""
+
+    epoch: int
+    tree_name: str
+    ts: float
+    incarnation: int = 0

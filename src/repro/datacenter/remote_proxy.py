@@ -95,6 +95,10 @@ class RemoteProxy:
 
         # shared state
         self._applied: Set[LabelKey] = set()
+        #: UPDATE labels that arrived via a sink replay batch: dedup for
+        #: these may consult the applied watermark (entries are discarded
+        #: as the labels are processed)
+        self._replayed_keys: Set[LabelKey] = set()
         self.applied_ts: Dict[str, float] = {}
         self.seen_bulk_ts: Dict[str, float] = {}
         self._migrations_done: Set[LabelKey] = set()
@@ -106,6 +110,11 @@ class RemoteProxy:
         self._transition_started_at: Optional[float] = None
         self._emergency = False
         self.reconfiguration_times: List[float] = []
+        #: fast-path transitions stuck longer than this escalate to the
+        #: failure path (0 disables) — covers C1 dying mid-reconfiguration,
+        #: when the epoch-change labels it should carry are lost
+        self.transition_timeout = 0.0
+        self.transitions_escalated = 0
 
         # statistics
         self.labels_processed = 0
@@ -120,10 +129,22 @@ class RemoteProxy:
         """A label batch delivered by Saturn."""
         if self.mode == "eventual":
             return
+        if batch.replayed:
+            for label in batch.labels:
+                if label.type is LabelType.UPDATE:
+                    self._replayed_keys.add(_key(label))
         if batch.epoch != self.current_epoch:
             if batch.epoch > self.current_epoch:
                 self._epoch_buffers.setdefault(batch.epoch, []).extend(batch.labels)
                 self._maybe_finish_emergency()
+            return
+        if self._emergency:
+            # the current tree was abandoned: its serialization can no
+            # longer be trusted (a resurrected serializer forwards labels
+            # whose causal past died with it).  Correctness is owned by
+            # the timestamp fallback and the new epoch's sink replay now,
+            # so late batches from the old tree are dropped instead of
+            # queued behind the transition.
             return
         self._queue.extend(batch.labels)
         self._pump_saturn()
@@ -154,6 +175,23 @@ class RemoteProxy:
     # ------------------------------------------------------------------
     # attach conditions (used by the frontend, Alg. 1)
     # ------------------------------------------------------------------
+
+    def consumes_label_order(self, epoch: int) -> bool:
+        """Will a label batch of *epoch* enter the saturn-order pipeline —
+        now, or at adoption time for a buffered future epoch?
+
+        Used by the runtime oracle (:class:`repro.analysis.runtime.HazardMonitor`)
+        to scope its delivery-order/visibility-order cross-check: labels the
+        proxy ignores (abandoned-tree remnants while in the timestamp
+        fallback, anything in eventual mode) impose no ordering obligation —
+        their updates become visible through the timestamp total order,
+        which the causal-order check validates directly.
+        """
+        if self.mode == "eventual":
+            return False
+        if epoch > self.current_epoch:
+            return True
+        return epoch == self.current_epoch and not self._in_timestamp_mode()
 
     def migration_processed(self, label: Label) -> bool:
         if _key(label) in self._migrations_done:
@@ -210,9 +248,23 @@ class RemoteProxy:
             if label.type is LabelType.UPDATE and key not in self._applied:
                 payload = self._pending_payloads.get(key)
                 if payload is None:
+                    # a *replayed* UPDATE below the origin's applied
+                    # watermark was already applied (per-origin streams
+                    # are FIFO and ts-ordered), but its dedup entry may
+                    # have been pruned: without this check the replay
+                    # would head-of-line block forever waiting for a
+                    # payload that was consumed long ago
+                    if (key in self._replayed_keys
+                            and label.ts <= self.applied_ts.get(
+                                label.origin_dc, float("-inf"))):
+                        self._queue.popleft()
+                        self._replayed_keys.discard(key)
+                        self._dispatch.append(_Slot(label, None, done=True))
+                        continue
                     break  # data readiness: wait for the bulk transfer
                 self._queue.popleft()
                 del self._pending_payloads[key]
+                self._replayed_keys.discard(key)
                 slot = _Slot(label, payload, done=False)
                 self._dispatch.append(slot)
                 self._start_apply(slot)
@@ -221,6 +273,7 @@ class RemoteProxy:
                 # no storage work, completes as soon as its turn comes
                 self._queue.popleft()
                 self._pending_payloads.pop(key, None)
+                self._replayed_keys.discard(key)
                 self._dispatch.append(_Slot(label, None, done=True))
         self._drain_saturn()
 
@@ -391,7 +444,20 @@ class RemoteProxy:
         self._transition_started_at = self.dc.sim.now
         if emergency:
             self.enter_fallback()
+        elif self.transition_timeout > 0:
+            self.dc.set_timer(self.transition_timeout,
+                              lambda: self._escalate_transition(new_epoch))
         self._maybe_finish_transition()
+        self._maybe_finish_emergency()
+
+    def _escalate_transition(self, epoch: int) -> None:
+        """Fast path timed out (a peer's epoch-change label is missing —
+        C1 broke mid-switch): finish through the failure path instead."""
+        if (self._transition_target != epoch or self._emergency
+                or self.current_epoch == epoch):
+            return
+        self.transitions_escalated += 1
+        self.enter_fallback()
         self._maybe_finish_emergency()
 
     def _record_epoch_mark(self, label: Label) -> None:
@@ -426,6 +492,24 @@ class RemoteProxy:
             return
         if self._ts_dispatch:
             return
+        # unapplied buffered payloads move back to the Saturn path on
+        # adoption, so each needs its label to eventually arrive through
+        # C2: hold the switch while any of them predates everything C2
+        # has delivered from its origin (it would be stranded forever;
+        # staying in ts mode applies it once it stabilizes instead)
+        if self._ts_heap:
+            first_by_origin: Dict[str, float] = {}
+            for label in buffered:
+                origin = label.origin_dc
+                known = first_by_origin.get(origin)
+                if known is None or label.ts < known:
+                    first_by_origin[origin] = label.ts
+            for ts, src, payload in self._ts_heap:
+                if (ts, src) in self._applied:
+                    continue
+                floor = first_by_origin.get(payload.label.origin_dc)
+                if floor is None or ts < floor:
+                    return
         self._emergency = False
         self._adopt_epoch(self._transition_target)
 

@@ -1,0 +1,25 @@
+"""Deterministic fault injection for the simulated Saturn deployment.
+
+``repro.faults`` turns failures into data: a :class:`~repro.faults.plan.FaultPlan`
+is a JSON-serializable script of crash / restart / partition / delay /
+reconfigure actions at simulated times, and a
+:class:`~repro.faults.injector.FaultInjector` schedules it onto a running
+scenario.  Because the simulator is deterministic and the plan is explicit,
+any faulty execution replays bit-identically — the property the chaos suite
+(``tests/chaos``) asserts with double-run digests.
+
+Fault *timing* can also be left open (``at_choices``) and resolved by the
+model checker's schedule controller, which makes crash instants part of the
+explored schedule space (see :mod:`repro.analysis.mc`).
+
+Run scripted scenarios from the CLI::
+
+    python -m repro.faults --list
+    python -m repro.faults --scenario serializer-crash --check-determinism
+    saturn-repro faults --scenario root-partition --json out.json
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultAction, FaultPlan
+
+__all__ = ["FaultAction", "FaultPlan", "FaultInjector"]

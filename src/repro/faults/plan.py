@@ -1,0 +1,156 @@
+"""Fault plans: JSON-replayable scripts of scheduled fault actions.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultAction` entries.
+Each action fires at a fixed simulated time (``at``) or at one of several
+candidate times (``at_choices``) left open for the model checker, which
+resolves the choice through the schedule controller — fault timing then
+becomes part of the recorded, shrinkable decision list.
+
+The JSON form is the interchange format between the chaos test suite, the
+``python -m repro.faults`` CLI, and CI artifacts; it is versioned the same
+way as the model checker's counterexample files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["FaultAction", "FaultPlan", "KINDS"]
+
+#: bump when the JSON layout changes incompatibly
+FORMAT_VERSION = 1
+
+#: action kind -> required argument names
+KINDS: Dict[str, Tuple[str, ...]] = {
+    "crash-serializer": ("tree",),
+    "restart-serializer": ("tree",),
+    "crash-replica": ("tree",),
+    "crash-tree": (),
+    "restart-tree": (),
+    "isolate": ("process",),
+    "rejoin": ("process",),
+    "partition-link": ("src", "dst"),
+    "heal-link": ("src", "dst"),
+    "delay-spike": ("src", "dst", "extra"),
+    "clear-delay": ("src", "dst"),
+    "reconfigure": (),
+}
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault.
+
+    Exactly one of ``at`` (fixed simulated time, ms) and ``at_choices``
+    (candidate times for the model checker; strictly ascending, the first
+    is the default) must be given.  ``args`` are kind-specific:
+
+    ==================  =====================================================
+    kind                args
+    ==================  =====================================================
+    crash-serializer    tree, [epoch]          fail-stop one serializer group
+    restart-serializer  tree, [epoch]          fail-recover it
+    crash-replica       tree, [epoch]          shorten its replica chain
+    crash-tree          [epoch]                fail every serializer
+    restart-tree        [epoch]                restart every serializer
+    isolate             process                cut a process off entirely
+    rejoin              process                undo isolate (held traffic
+                                               is then released in order)
+    partition-link      src, dst, [symmetric]  sever one link (reliable
+                                               channel: traffic is held)
+    heal-link           src, dst, [symmetric]  undo partition-link
+    delay-spike         src, dst, extra,       add extra ms to one link
+                        [symmetric]
+    clear-delay         src, dst, [symmetric]  remove the extra delay
+    reconfigure         [emergency]            trigger an epoch change
+    ==================  =====================================================
+    """
+
+    kind: str
+    at: Optional[float] = None
+    at_choices: Optional[Tuple[float, ...]] = None
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"expected one of {sorted(KINDS)}")
+        if (self.at is None) == (self.at_choices is None):
+            raise ValueError(
+                f"{self.kind}: exactly one of at/at_choices must be set")
+        if self.at is not None and self.at < 0:
+            raise ValueError(f"{self.kind}: at must be non-negative")
+        if self.at_choices is not None:
+            object.__setattr__(self, "at_choices", tuple(self.at_choices))
+            choices = self.at_choices
+            if not choices:
+                raise ValueError(f"{self.kind}: at_choices must be non-empty")
+            if any(b <= a for a, b in zip(choices, choices[1:])):
+                raise ValueError(
+                    f"{self.kind}: at_choices must be strictly ascending")
+            if choices[0] < 0:
+                raise ValueError(f"{self.kind}: times must be non-negative")
+        missing = [name for name in KINDS[self.kind] if name not in self.args]
+        if missing:
+            raise ValueError(f"{self.kind}: missing args {missing}")
+
+    def to_dict(self) -> dict:
+        out: dict = {"kind": self.kind}
+        if self.at is not None:
+            out["at"] = self.at
+        else:
+            out["at_choices"] = list(self.at_choices or ())
+        if self.args:
+            out["args"] = dict(self.args)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultAction":
+        choices = data.get("at_choices")
+        return cls(kind=data["kind"], at=data.get("at"),
+                   at_choices=tuple(choices) if choices is not None else None,
+                   args=dict(data.get("args", {})))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, replayable fault script."""
+
+    actions: Tuple[FaultAction, ...]
+    name: str = "fault-plan"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "actions", tuple(self.actions))
+
+    @property
+    def is_open(self) -> bool:
+        """True if any action's timing is left to the model checker."""
+        return any(action.at_choices is not None for action in self.actions)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "format_version": FORMAT_VERSION,
+            "name": self.name,
+            "actions": [action.to_dict() for action in self.actions],
+        }, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        version = data.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(f"fault plan format version {version!r} not "
+                             f"supported (expected {FORMAT_VERSION})")
+        return cls(
+            actions=tuple(FaultAction.from_dict(entry)
+                          for entry in data.get("actions", ())),
+            name=data.get("name", "fault-plan"))
+
+
+def sequential(name: str, actions: Sequence[FaultAction]) -> FaultPlan:
+    """Convenience constructor used by the scenario catalog."""
+    return FaultPlan(actions=tuple(actions), name=name)

@@ -1,0 +1,131 @@
+"""Scripted chaos scenarios: fault plans on the chain3 deployment.
+
+Each scenario pairs the model checker's deterministic 3-datacenter
+deployment (:func:`repro.analysis.mc.scenario.build_chain3`) with a
+:class:`~repro.faults.plan.FaultPlan` and the robustness machinery turned
+on — serializer beacons, the per-sink failure detector, and the
+:class:`~repro.core.failover.AutoFailover` recovery coordinator.  All
+fault times are fixed (``at=...``), so a scenario runs bit-identically
+without a schedule controller; the *model-checked* variant with open
+fault timing lives in the mc catalog as ``crash-chain3``.
+
+* ``serializer-crash`` — datacenter I's attachment serializer dies
+  mid-stream and restarts later.  I degrades to the timestamp total
+  order (parking its outgoing labels), keeps writing while degraded, and
+  the restarted serializer's first beacon triggers the emergency epoch
+  change that replays the backlog.
+* ``root-partition`` — the root serializer sF is isolated from the
+  network before the first label batch crosses it, so the batch reaches
+  neither F nor T by tree.  F degrades and recovers; T (whose own
+  attachment stayed healthy) only sees the updates once the emergency
+  transition's timestamp fallback drains its buffered payloads.
+* ``crash-during-epoch-change`` — sI crashes just before a *planned*
+  reconfiguration, swallowing epoch-change marks so the fast path can
+  never complete.  The proxies' transition timeout escalates the stuck
+  switch onto the failure path (§6.2) and the run converges anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.analysis.mc.scenario import (KEY_A, KEY_B, KEY_C, KEY_P, KEY_Y,
+                                        Scenario, _poll_then, _then_poll_then,
+                                        build_chain3)
+from repro.core.service import SaturnService
+from repro.faults.plan import FaultAction, FaultPlan
+from repro.workloads.ops import ReadOp, UpdateOp
+
+__all__ = ["CHAOS_SCENARIOS", "build_chaos_scenario"]
+
+#: detector tuning shared by every chaos scenario: beacons every 2 ms,
+#: suspicion after 7 ms of silence, degradation 4 ms later, probes with
+#: exponential backoff capped at 16 ms
+_BEACON_PERIOD = 2.0
+_DETECTOR = dict(beacon_timeout=7.0, stabilization_wait=4.0,
+                 probe_period=4.0, probe_backoff=2.0, probe_period_max=16.0)
+
+
+def _chaos_specs(relay_cap: int = 200, reader_cap: int = 200,
+                 writer_cap: int = 300):
+    """The chain3 causal workload, hardened for fault runs: generous poll
+    caps (visibility can lag by a whole detection + recovery cycle) and a
+    fourth update ``g0:c`` written by I only after it has seen ``g0:y`` —
+    under the crash scenarios that write happens while I is degraded, so
+    ``c`` exercises the park/replay path end to end."""
+    return [
+        ("writer-I", "I", _then_poll_then(
+            [UpdateOp(KEY_A, 2), UpdateOp(KEY_B, 2), UpdateOp(KEY_P, 2)],
+            KEY_Y, cap=writer_cap, then=[UpdateOp(KEY_C, 2)])),
+        ("relay-F", "F", _poll_then(KEY_B, cap=relay_cap,
+                                    then=[UpdateOp(KEY_Y, 2)])),
+        ("reader-T", "T", _poll_then(KEY_Y, cap=reader_cap,
+                                     then=[ReadOp(KEY_A)])),
+    ]
+
+
+def _serializer_crash() -> Scenario:
+    # t=6: after the first label batch cleared sI (~t=2.5) but before the
+    # y label comes back through it (~t=12) — y's branch toward I is
+    # swallowed, and everything I writes afterwards parks until recovery
+    plan = FaultPlan(name="serializer-crash", actions=(
+        FaultAction(kind="crash-serializer", at=6.0,
+                    args={"tree": "sI", "epoch": 0}),
+        FaultAction(kind="restart-serializer", at=40.0,
+                    args={"tree": "sI", "epoch": 0}),
+    ))
+    return build_chain3(
+        "serializer-crash", horizon=150.0, specs=_chaos_specs(),
+        beacon_period=_BEACON_PERIOD, dc_extra=dict(_DETECTOR),
+        auto_failover=True, fault_plan=plan, min_expected_updates=5)
+
+
+def _root_partition() -> Scenario:
+    # t=3: the first batch is already in flight from sI (sent ~t=2.5, so
+    # it still lands on sF), but every send to or *from* the isolated sF
+    # is held by the reliable channels — F and T get payloads with no
+    # labels until the outage ends and the emergency switch replays
+    root = SaturnService.serializer_process_name(0, "sF")
+    plan = FaultPlan(name="root-partition", actions=(
+        FaultAction(kind="isolate", at=3.0, args={"process": root}),
+        FaultAction(kind="rejoin", at=45.0, args={"process": root}),
+    ))
+    return build_chain3(
+        "root-partition", horizon=200.0, specs=_chaos_specs(),
+        beacon_period=_BEACON_PERIOD, dc_extra=dict(_DETECTOR),
+        auto_failover=True, fault_plan=plan, min_expected_updates=5)
+
+
+def _crash_during_epoch_change() -> Scenario:
+    # sI dies at t=6; a *planned* reconfiguration fires at t=15.  The
+    # epoch-change marks routed through the dead serializer never arrive,
+    # so the fast path stalls at every proxy; the transition timeout
+    # escalates the switch onto the failure path instead.  No automatic
+    # recovery here — the planned switch itself replaces the dead tree.
+    plan = FaultPlan(name="crash-during-epoch-change", actions=(
+        FaultAction(kind="crash-serializer", at=6.0,
+                    args={"tree": "sI", "epoch": 0}),
+    ))
+    return build_chain3(
+        "crash-during-epoch-change", horizon=200.0,
+        reconfigure_at=15.0, specs=_chaos_specs(),
+        beacon_period=_BEACON_PERIOD,
+        dc_extra=dict(_DETECTOR, transition_timeout=30.0),
+        fault_plan=plan, min_expected_updates=5)
+
+
+CHAOS_SCENARIOS: Dict[str, Callable[[], Scenario]] = {
+    "serializer-crash": _serializer_crash,
+    "root-partition": _root_partition,
+    "crash-during-epoch-change": _crash_during_epoch_change,
+}
+
+
+def build_chaos_scenario(name: str) -> Scenario:
+    """Build chaos scenario *name* (not yet run)."""
+    try:
+        builder = CHAOS_SCENARIOS[name]
+    except KeyError:
+        raise ValueError(f"unknown chaos scenario {name!r}; "
+                         f"expected one of {sorted(CHAOS_SCENARIOS)}") from None
+    return builder()

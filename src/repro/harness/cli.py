@@ -8,6 +8,7 @@ Installed as the ``saturn-repro`` console script::
     saturn-repro bench --system saturn     # one ad-hoc cluster run
     saturn-repro configure                 # print the M-configuration
     saturn-repro mc --scenario chain3      # schedule-space model checking
+    saturn-repro faults --list             # scripted chaos scenarios
 """
 
 from __future__ import annotations
@@ -34,6 +35,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig7": experiments.fig7,
     "fig8": experiments.fig8,
     "reconfiguration": experiments.reconfiguration,
+    "visibility-under-failure": experiments.visibility_under_failure,
     "ablation-sink-batching": experiments.ablation_sink_batching,
     "ablation-artificial-delays": experiments.ablation_artificial_delays,
     "ablation-parallel-apply": experiments.ablation_parallel_apply,
@@ -80,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
     mc.add_argument("mc_args", nargs=argparse.REMAINDER,
                     help="arguments forwarded to python -m repro.analysis.mc")
 
+    faults = sub.add_parser(
+        "faults", help="scripted fault-injection scenarios (repro.faults)",
+        add_help=False)
+    faults.add_argument("faults_args", nargs=argparse.REMAINDER,
+                        help="arguments forwarded to python -m repro.faults")
+
     return parser
 
 
@@ -121,6 +129,9 @@ def main(argv: Optional[list] = None) -> int:
         # leading --flag, and the model checker owns its own --help
         from repro.analysis.mc.__main__ import main as mc_main
         return mc_main(list(argv[1:]))
+    if argv and argv[0] == "faults":
+        from repro.faults.__main__ import main as faults_main
+        return faults_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
 
     if args.command == "list":

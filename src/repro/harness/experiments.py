@@ -38,7 +38,8 @@ __all__ = [
     "Scale", "SMOKE", "DEFAULT",
     "m_configuration", "run_once",
     "fig1a", "fig1b", "fig4", "fig5", "fig6", "fig7", "fig8",
-    "reconfiguration", "ablation_sink_batching", "ablation_artificial_delays",
+    "reconfiguration", "visibility_under_failure",
+    "ablation_sink_batching", "ablation_artificial_delays",
     "ablation_parallel_apply", "ablation_genuine_partial",
 ]
 
@@ -351,6 +352,68 @@ def reconfiguration(scale: Scale = DEFAULT, emergency: bool = False) -> Dict:
         "max_ms": max(all_times) if all_times else None,
         "throughput": result.throughput,
         "mean_visibility_ms": result.visibility.mean(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# fault tolerance: visibility through a serializer outage
+# ---------------------------------------------------------------------------
+
+def visibility_under_failure(scale: Scale = DEFAULT) -> Dict:
+    """Crash the serializer tree mid-run and restart it later: the beacon
+    detectors degrade every datacenter to the timestamp total order, the
+    restarted tree's beacons trigger the automatic emergency epoch change,
+    and remote visibility must return to (near) its pre-fault level.
+
+    Reported: mean visibility in the pre-fault steady state, during the
+    outage (degraded mode keeps updates flowing, just staler), and after
+    recovery, plus the detector/recovery timeline."""
+    sites = ["I", "F", "T"]
+    workload = SyntheticWorkload(correlation="full")
+    topology = TreeTopology.star("I", {s: s for s in sites})
+    crash_at = scale.warmup + 100.0
+    restart_at = crash_at + 200.0
+    # runway: detection (~150 ms) + recovery beacons crossing the WAN
+    # (~300 ms) + the emergency transition's stabilization wait
+    duration = max(scale.duration, restart_at + 1200.0)
+
+    def inject(cluster: Cluster) -> None:
+        cluster.sim.schedule(
+            crash_at, lambda: cluster.service.fail_tree(epoch=0))
+        cluster.sim.schedule(
+            restart_at, lambda: cluster.service.restart_tree(epoch=0))
+
+    result = run_once(
+        "saturn", workload,
+        Scale(duration=duration, warmup=scale.warmup,
+              clients_per_dc=scale.clients_per_dc,
+              num_partitions=scale.num_partitions, seed=scale.seed,
+              beam_width=scale.beam_width),
+        sites=sites, topology=topology, before_run=inject,
+        beacon_period=25.0, beacon_timeout=100.0, stabilization_wait=50.0,
+        probe_period=50.0, auto_failover=True)
+    cluster = result.cluster
+    recoveries = cluster.failover.recoveries if cluster.failover else []
+    recovered_at = max((t for t, _ in recoveries), default=None)
+    spans = {name: list(dc.failover.degraded_spans)
+             for name, dc in cluster.datacenters.items()
+             if dc.failover is not None}
+    visibility = result.visibility
+    post_from = ((recovered_at + 300.0) if recovered_at is not None
+                 else duration)
+    return {
+        "crash_at_ms": crash_at,
+        "restart_at_ms": restart_at,
+        "recovered": bool(recoveries),
+        "recovery_epochs": [[t, e] for t, e in recoveries],
+        "degraded_spans": spans,
+        "pre_fault_visibility_ms": visibility.mean_in_window(
+            scale.warmup, crash_at),
+        "outage_visibility_ms": visibility.mean_in_window(
+            crash_at, post_from),
+        "post_recovery_visibility_ms": visibility.mean_in_window(
+            post_from, duration),
+        "throughput": result.throughput,
     }
 
 

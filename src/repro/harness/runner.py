@@ -80,6 +80,17 @@ class ClusterConfig:
     chain_length: int = 1
     parallel_concurrent_apply: bool = True
     ping_period: float = 0.0
+    #: serializer liveness beacons + per-sink failure detector (0 = off;
+    #: see repro.datacenter.failover for the state machine)
+    beacon_period: float = 0.0
+    beacon_timeout: float = 0.0
+    stabilization_wait: float = 4.0
+    probe_period: float = 4.0
+    #: wire the AutoFailover coordinator: degraded datacenters trigger an
+    #: emergency epoch change once the dead tree is reachable again
+    auto_failover: bool = False
+    #: stuck fast-path epoch changes escalate to the failure path (0 = off)
+    transition_timeout: float = 0.0
     #: override the workload's replication map (e.g. Fig. 1b sweeps)
     replication: Optional[ReplicationMap] = None
     #: opt-in runtime FIFO/determinism checker (repro.analysis.runtime);
@@ -144,8 +155,11 @@ class Cluster:
         self.datacenters: Dict[str, object] = {}
         self.clients: List[ClientProcess] = []
         self.execution_log = None
+        self.manager = None
+        self.failover = None
         self._build_datacenters()
         self._build_clients()
+        self._build_failover()
 
     # ------------------------------------------------------------------
 
@@ -156,7 +170,8 @@ class Cluster:
                 self.sites[0], {site: site for site in self.sites})
             self.service = SaturnService(self.sim, self.network,
                                          self.replication,
-                                         chain_length=config.chain_length)
+                                         chain_length=config.chain_length,
+                                         beacon_period=config.beacon_period)
             self.service.install_tree(topology, epoch=0)
         for site in self.sites:
             self.datacenters[site] = self._make_datacenter(site)
@@ -174,7 +189,11 @@ class Cluster:
                 sink_heartbeat_period=config.sink_heartbeat_period,
                 bulk_heartbeat_period=config.bulk_heartbeat_period,
                 parallel_concurrent_apply=config.parallel_concurrent_apply,
-                ping_period=config.ping_period)
+                ping_period=config.ping_period,
+                beacon_timeout=config.beacon_timeout,
+                stabilization_wait=config.stabilization_wait,
+                probe_period=config.probe_period,
+                transition_timeout=config.transition_timeout)
             dc = SaturnDatacenter(self.sim, params, self.replication,
                                   config.cost_model, clock,
                                   metrics=self.metrics,
@@ -225,6 +244,18 @@ class Cluster:
                 client.attach_network(self.network)
                 self.network.place(client.name, site)
                 self.clients.append(client)
+
+    def _build_failover(self) -> None:
+        if not self.config.auto_failover or self.service is None:
+            return
+        from repro.core.failover import AutoFailover
+        from repro.core.reconfig import ReconfigurationManager
+        self.manager = ReconfigurationManager(
+            self.service, list(self.datacenters.values()))
+        self.failover = AutoFailover(self.manager)
+        for dc in self.datacenters.values():
+            if getattr(dc, "failover", None) is not None:
+                dc.failover.coordinator = self.failover
 
     # ------------------------------------------------------------------
 

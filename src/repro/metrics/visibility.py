@@ -22,6 +22,10 @@ class VisibilityRecorder:
     def __init__(self, warmup_until: float = 0.0) -> None:
         self.warmup_until = warmup_until
         self._samples: Dict[Tuple[str, str], List[float]] = defaultdict(list)
+        #: (recorded-at, origin, dest, latency) in record order — the
+        #: windowed queries below slice this for before/after-fault
+        #: comparisons (fault-recovery regression tests)
+        self._timeline: List[Tuple[float, str, str, float]] = []
         self._clock = None
 
     def bind_clock(self, sim) -> None:
@@ -32,6 +36,8 @@ class VisibilityRecorder:
         if self._clock is not None and self._clock.now < self.warmup_until:
             return
         self._samples[(origin, dest)].append(latency)
+        if self._clock is not None:
+            self._timeline.append((self._clock.now, origin, dest, latency))
 
     # -- queries ---------------------------------------------------------
 
@@ -64,3 +70,23 @@ class VisibilityRecorder:
 
     def pairs(self) -> List[Tuple[str, str]]:
         return sorted(self._samples)
+
+    # -- windowed queries (recorded-at time, not latency) -----------------
+
+    def samples_in_window(self, t0: float, t1: float,
+                          origin: Optional[str] = None,
+                          dest: Optional[str] = None) -> List[float]:
+        """Latency samples recorded in ``[t0, t1)``, optionally filtered.
+
+        Only populated when a clock is bound (the harness always binds
+        one); used to compare steady-state visibility before a fault with
+        visibility after recovery."""
+        return [latency for at, o, d, latency in self._timeline
+                if t0 <= at < t1
+                and (origin is None or o == origin)
+                and (dest is None or d == dest)]
+
+    def mean_in_window(self, t0: float, t1: float,
+                       origin: Optional[str] = None,
+                       dest: Optional[str] = None) -> float:
+        return mean(self.samples_in_window(t0, t1, origin, dest))

@@ -86,10 +86,13 @@ class _LinkState:
     ``pending_seq == sim.last_seq`` guard means nothing was scheduled in
     between, so the merged delivery order is bit-identical to the
     one-event-per-message order.
+
+    ``held`` buffers messages sent while the link is down (partitioned or
+    an endpoint isolated); they are re-sent in order when the outage ends.
     """
 
     __slots__ = ("last_delivery", "extra_delay", "partitioned",
-                 "pending", "pending_arrival", "pending_seq")
+                 "pending", "pending_arrival", "pending_seq", "held")
 
     def __init__(self) -> None:
         self.last_delivery = 0.0
@@ -98,6 +101,7 @@ class _LinkState:
         self.pending: Optional[list] = None
         self.pending_arrival = 0.0
         self.pending_seq = -1
+        self.held: Optional[list] = None
 
 
 class Network:
@@ -114,12 +118,19 @@ class Network:
         self._processes: Dict[str, Process] = {}
         self._sites: Dict[str, str] = {}
         self._links: Dict[Tuple[str, str], _LinkState] = {}
+        #: processes cut off from everyone (n-1 partitions in one flag);
+        #: kept as a set so the hot send path pays one truthiness check
+        #: when no isolation fault is active.
+        self._isolated: set = set()
         self.messages_sent = 0
         self.bytes_sent = 0
         #: optional instrumentation hook (see repro.analysis.runtime).
         #: When set, it must provide ``on_send(src, dst, message, arrival)``
         #: returning a per-link sequence number, plus ``on_deliver(src,
-        #: dst, seq, message)`` and ``on_drop(src, dst, message)``.
+        #: dst, seq, message)`` and ``on_drop(src, dst, message)``
+        #: (``on_drop`` is part of the protocol for lossy extensions; the
+        #: built-in fault model holds messages across link outages instead
+        #: of dropping, so the trace sees the eventual re-send).
         self.trace: Optional[Any] = None
         #: optional bounded delay perturbation (see repro.analysis.mc).
         #: When set, ``perturb(src, dst) -> float`` is called once per
@@ -170,7 +181,16 @@ class Network:
                     self._link(name_a, name_b).extra_delay = extra
 
     def partition(self, src: str, dst: str, symmetric: bool = True) -> None:
-        """Drop all messages on the link until healed."""
+        """Sever the link until healed.
+
+        Channels are *reliable* FIFO transports (the paper's model, and
+        what TCP gives a real deployment): a partition delays messages, it
+        does not silently lose them.  Messages sent while the link is down
+        are held and re-sent — in order, with fresh latency — when the
+        outage ends.  Only a process *crash* loses state, and that is
+        announced by the serializers' beacon incarnation numbers; silent
+        loss on a live channel would be undetectable by any protocol.
+        """
         self._link(src, dst).partitioned = True
         if symmetric:
             self._link(dst, src).partitioned = True
@@ -179,6 +199,51 @@ class Network:
         self._link(src, dst).partitioned = False
         if symmetric:
             self._link(dst, src).partitioned = False
+        self._flush_held(src, dst)
+        if symmetric:
+            self._flush_held(dst, src)
+
+    def isolate(self, name: str) -> None:
+        """Cut *name* off from every other process (both directions).
+
+        Same reliable-channel semantics as :meth:`partition`: traffic to
+        and from the isolated process is held, not lost, and delivered
+        once it rejoins.
+        """
+        self._isolated.add(name)
+
+    def rejoin(self, name: str) -> None:
+        """Undo :meth:`isolate` and release the traffic held meanwhile
+        (messages already in flight at isolation time were unaffected)."""
+        self._isolated.discard(name)
+        for (src, dst), state in list(self._links.items()):
+            if state.held and (src == name or dst == name):
+                self._flush_held(src, dst)
+
+    def is_isolated(self, name: str) -> bool:
+        return name in self._isolated
+
+    def _link_down(self, src: str, dst: str, state: _LinkState) -> bool:
+        return state.partitioned or (bool(self._isolated) and
+                                     (src in self._isolated or
+                                      dst in self._isolated))
+
+    def _flush_held(self, src: str, dst: str) -> None:
+        """Re-send messages held across an outage, preserving send order.
+
+        A no-op while the link is still down from another cause (e.g. the
+        far endpoint of a healed link remains isolated); the messages stay
+        held until the last obstruction clears.
+        """
+        state = self._links.get((src, dst))
+        if state is None or not state.held:
+            return
+        if self._link_down(src, dst, state):
+            return
+        held = state.held
+        state.held = None
+        for message, size_bytes in held:
+            self.send(src, dst, message, size_bytes)
 
     # -- latency -----------------------------------------------------------
 
@@ -208,9 +273,14 @@ class Network:
         state = self._links.get((src, dst))
         if state is None:
             state = self._link(src, dst)
-        if state.partitioned:
-            if self.trace is not None:
-                self.trace.on_drop(src, dst, message)
+        if state.partitioned or (self._isolated and
+                                 (src in self._isolated or
+                                  dst in self._isolated)):
+            # reliable channel across an outage: hold for re-send at heal
+            # or rejoin time (the trace observes the eventual re-send)
+            if state.held is None:
+                state.held = []
+            state.held.append((message, size_bytes))
             return
         sim = self.sim
         arrival = sim.now + self._latency(src, dst, state)

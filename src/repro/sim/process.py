@@ -30,6 +30,7 @@ class Process:
         self.name = name
         self.network: Optional["Network"] = None
         self._alive = True
+        self.restarts = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -43,6 +44,24 @@ class Process:
 
     def recover(self) -> None:
         self._alive = True
+
+    def restart(self) -> None:
+        """Bring a crashed process back (the fail-recover model).
+
+        A :class:`RepeatingTimer` whose tick fired while the process was
+        down has stopped permanently, so subclasses override
+        :meth:`on_restart` to re-arm their periodic machinery.  Which
+        state survives the crash is the subclass's call: a serializer is
+        stateless, a datacenter keeps its durable store.
+        """
+        if self._alive:
+            return
+        self._alive = True
+        self.restarts += 1
+        self.on_restart()
+
+    def on_restart(self) -> None:
+        """Hook for subclasses: re-arm timers / volatile state after restart."""
 
     # -- messaging ---------------------------------------------------------
 

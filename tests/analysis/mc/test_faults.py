@@ -1,0 +1,84 @@
+"""Fault timing as a schedulable decision (``["fault", k, choice]``)."""
+
+import pytest
+
+from repro.analysis.mc.checker import ModelChecker
+from repro.analysis.mc.controller import (FAULT, ScheduleController, TIE,
+                                          nondefault_count)
+from repro.analysis.mc.shrink import shrink_decisions
+from repro.analysis.mc.strategies import FifoStrategy, PctStrategy
+
+
+# ---------------------------------------------------------------------------
+# controller
+# ---------------------------------------------------------------------------
+
+def test_choose_fault_records_the_default():
+    controller = ScheduleController(FifoStrategy())
+    assert controller.choose_fault("plan[0]:crash-serializer", 4) == 0
+    assert controller.trace == [[FAULT, 4, 0]]
+
+
+def test_scripted_fault_choice_is_replayed():
+    controller = ScheduleController(FifoStrategy(), script=[[FAULT, 4, 2]])
+    assert controller.choose_fault("plan[0]:crash-serializer", 4) == 2
+    assert controller.trace == [[FAULT, 4, 2]]
+
+
+def test_out_of_range_fault_choice_clamps_to_default():
+    controller = ScheduleController(FifoStrategy(), script=[[FAULT, 4, 9]])
+    assert controller.choose_fault("plan[0]:crash-serializer", 4) == 0
+    assert controller.trace == [[FAULT, 4, 0]]
+
+
+def test_pct_strategy_draws_fault_timing_from_its_rng():
+    strategy = PctStrategy(seed=7)
+    picks = {strategy.choose_fault("x", 4) for _ in range(32)}
+    assert picks <= {0, 1, 2, 3}
+    assert len(picks) > 1
+
+
+def test_nondefault_count_sees_fault_decisions():
+    assert nondefault_count([[FAULT, 4, 0], [TIE, 2, 0]]) == 0
+    assert nondefault_count([[FAULT, 4, 3], [TIE, 2, 1]]) == 2
+
+
+def test_shrinker_reduces_fault_decisions_toward_the_default():
+    base = [[TIE, 2, 1], [FAULT, 4, 3], [TIE, 3, 2]]
+
+    def test_fn(candidate):
+        # failure depends only on the fault timing
+        fault = [d for d in candidate if d[0] == FAULT]
+        return ["boom"] if fault and fault[0][2] == 3 else None
+
+    result = shrink_decisions(base, test_fn)
+    assert result is not None
+    decisions, violations = result
+    assert violations == ["boom"]
+    assert nondefault_count(decisions) == 1
+    assert decisions[1] == [FAULT, 4, 3]
+
+
+# ---------------------------------------------------------------------------
+# the crash-chain3 scenario under the checker
+# ---------------------------------------------------------------------------
+
+def test_crash_chain3_is_clean_and_exposes_the_fault_decision():
+    outcome = ModelChecker("crash-chain3").run_once(FifoStrategy())
+    assert outcome.ok, outcome.violations
+    faults = [d for d in outcome.decisions if d[0] == FAULT]
+    assert faults == [[FAULT, 4, 0]]
+
+
+@pytest.mark.parametrize("choice", [1, 2, 3])
+def test_every_crash_instant_survives_the_oracles(choice):
+    outcome = ModelChecker("crash-chain3").replay([[FAULT, 4, choice]])
+    assert outcome.ok, (choice, outcome.violations)
+
+
+def test_forced_fault_timing_replays_bit_identically():
+    checker = ModelChecker("crash-chain3")
+    first = checker.replay([[FAULT, 4, 2]])
+    second = checker.replay([[FAULT, 4, 2]])
+    assert first.digest == second.digest
+    assert [d for d in first.decisions if d[0] == FAULT] == [[FAULT, 4, 2]]

@@ -1,0 +1,36 @@
+"""Recovery regression: after the automatic emergency epoch change, remote
+visibility must return to (near) the pre-fault steady state.
+
+Uses the ``visibility-under-failure`` experiment at smoke scale: the whole
+serializer tree crashes 100 ms after warmup, restarts 200 ms later, every
+datacenter degrades to the timestamp total order in between, and the
+restarted tree's beacons drive the coordinator's recovery.  The tolerance
+(30 % + 10 ms) is deliberately loose — the post-recovery window is shorter
+than the steady-state window, so its mean is noisier — but it fails
+decisively if recovery strands the cluster in degraded mode (visibility
+then rides the bulk-heartbeat period and roughly doubles)."""
+
+from repro.harness.experiments import SMOKE, visibility_under_failure
+
+
+def test_visibility_returns_to_steady_state_after_recovery():
+    result = visibility_under_failure(SMOKE)
+
+    assert result["recovered"], "automatic recovery never fired"
+    epochs = [epoch for _, epoch in result["recovery_epochs"]]
+    assert 1 in epochs
+    # every datacenter went through a degraded span and closed it
+    assert set(result["degraded_spans"]) == {"I", "F", "T"}
+    for name, spans in result["degraded_spans"].items():
+        assert spans, f"{name} never degraded"
+        for degraded_at, reattached_at in spans:
+            assert result["crash_at_ms"] <= degraded_at < reattached_at
+
+    pre = result["pre_fault_visibility_ms"]
+    post = result["post_recovery_visibility_ms"]
+    assert pre > 0 and post > 0
+    assert post <= pre * 1.3 + 10.0, (
+        f"post-recovery visibility {post:.1f} ms vs pre-fault {pre:.1f} ms")
+    # degraded mode kept updates visible (staler, but flowing)
+    assert result["outage_visibility_ms"] > 0
+    assert result["throughput"] > 0

@@ -103,19 +103,24 @@ def test_latency_model_from_matrix():
     assert model.sites() == {"A", "B"}
 
 
-def test_partition_drops_messages(sim):
+def test_partition_holds_messages_until_healed(sim):
+    """Links are reliable FIFO channels: a partition delays traffic, it
+    does not silently lose it (silent loss on a live channel would be
+    undetectable by any protocol — only crashes lose state)."""
     net = make_net(sim)
     a, b = Recorder(sim, "a"), Recorder(sim, "b")
     a.attach_network(net)
     b.attach_network(net)
     net.partition("a", "b")
-    a.send("b", "lost")
+    a.send("b", "held")
     sim.run()
-    assert b.received == []
+    assert b.received == []  # nothing crosses while the link is down
     net.heal("a", "b")
-    a.send("b", "found")
+    a.send("b", "fresh")
     sim.run()
-    assert [m for _, _, m in b.received] == ["found"]
+    # the held message is re-sent at heal time (t=0 here) and keeps its
+    # place in the FIFO order ahead of anything sent afterwards
+    assert [m for _, _, m in b.received] == ["held", "fresh"]
 
 
 def test_extra_delay_injection(sim):
@@ -176,3 +181,92 @@ def test_message_and_byte_accounting(sim):
     sim.run()
     assert net.messages_sent == 2
     assert net.bytes_sent == 192
+
+
+def test_isolate_holds_traffic_in_both_directions(sim):
+    net = make_net(sim)
+    a, b = Recorder(sim, "a"), Recorder(sim, "b")
+    a.attach_network(net)
+    b.attach_network(net)
+    net.isolate("b")
+    assert net.is_isolated("b")
+    a.send("b", "inbound")
+    b.send("a", "outbound")
+    sim.run()
+    assert a.received == []
+    assert b.received == []
+    net.rejoin("b")
+    assert not net.is_isolated("b")
+    a.send("b", "again")
+    sim.run()
+    # rejoin releases the held traffic in both directions, in send order
+    assert [m for _, _, m in a.received] == ["outbound"]
+    assert [m for _, _, m in b.received] == ["inbound", "again"]
+
+
+def test_isolation_spares_messages_already_in_flight(sim):
+    """Outages act at send time: a message launched before the isolation
+    still lands (the chaos scenarios rely on this to partition a
+    serializer with one batch already on the wire)."""
+    net = make_net(sim)
+    a, b = Recorder(sim, "a"), Recorder(sim, "b")
+    a.attach_network(net)
+    b.attach_network(net)
+    a.send("b", "in-flight")
+    net.isolate("b")
+    sim.run()
+    assert [m for _, _, m in b.received] == ["in-flight"]
+
+
+def test_held_messages_keep_fifo_order_across_the_outage(sim):
+    """A message still in flight when the partition starts must not be
+    overtaken by held traffic released at heal time, and held traffic must
+    not be overtaken by messages sent after the heal."""
+    net = make_net(sim)
+    a, b = Recorder(sim, "a"), Recorder(sim, "b")
+    a.attach_network(net)
+    b.attach_network(net)
+    net.inject_extra_delay("a", "b", 10.0)  # in-flight survives the outage
+    a.send("b", "before")
+    net.partition("a", "b")
+    a.send("b", "during-1")
+    a.send("b", "during-2")
+    sim.schedule(5.0, lambda: net.heal("a", "b"))
+    sim.schedule(5.0, lambda: a.send("b", "after"))
+    sim.run()
+    assert [m for _, _, m in b.received] == [
+        "before", "during-1", "during-2", "after"]
+
+
+def test_traced_runs_observe_held_messages_on_release(sim):
+    class Trace:
+        def __init__(self):
+            self.sent = []
+            self.delivered = []
+
+        def on_send(self, src, dst, message, arrival):
+            self.sent.append((sim.now, message))
+            return len(self.sent)
+
+        def on_deliver(self, src, dst, seq, message):
+            self.delivered.append(message)
+
+        def on_drop(self, src, dst, message):  # pragma: no cover
+            raise AssertionError("reliable links never drop")
+
+    net = make_net(sim)
+    a, b = Recorder(sim, "a"), Recorder(sim, "b")
+    a.attach_network(net)
+    b.attach_network(net)
+    trace = Trace()
+    net.trace = trace
+    net.isolate("b")
+    a.send("b", "void")
+    sim.run()
+    assert trace.sent == []  # held, not yet on the wire
+    assert b.received == []
+    net.rejoin("b")
+    sim.run()
+    assert trace.sent == [(0.0, "void")]  # re-sent at rejoin time
+    assert trace.delivered == ["void"]
+    assert [m for _, _, m in b.received] == ["void"]

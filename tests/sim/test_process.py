@@ -88,3 +88,42 @@ def test_recover_resumes_message_delivery(sim):
 
 def test_repr(sim):
     assert "Echo" in repr(Echo(sim, "p"))
+
+
+def test_restart_is_a_noop_while_alive(sim):
+    p = Echo(sim, "p")
+    p.restart()
+    assert p.alive
+    assert p.restarts == 0
+
+
+def test_restart_revives_and_counts(sim):
+    p = Echo(sim, "p")
+    p.crash()
+    assert not p.alive
+    p.restart()
+    assert p.alive
+    assert p.restarts == 1
+
+
+def test_restart_invokes_rearm_hook():
+    """Periodic timers stop permanently when a tick finds the process dead;
+    on_restart is where a process re-arms them."""
+    from repro.sim.engine import Simulator
+
+    class Rearming(Echo):
+        def __init__(self, sim, name):
+            super().__init__(sim, name)
+            self.ticks = []
+            self.every(2.0, lambda: self.ticks.append(self.sim.now))
+
+        def on_restart(self):
+            self.every(2.0, lambda: self.ticks.append(self.sim.now))
+
+    sim = Simulator()
+    p = Rearming(sim, "p")
+    sim.schedule(5.0, p.crash)
+    sim.schedule(9.0, p.restart)
+    sim.run(until=14.0)
+    assert p.ticks == [2.0, 4.0, 11.0, 13.0]
+    assert p.restarts == 1
