@@ -65,6 +65,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="stop a sweep at the first counterexample")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write the shrunk counterexample JSON here")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="re-run the shrunk counterexample with "
+                             "label-lifecycle tracing (repro.obs) and "
+                             "write the JSONL export here")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="machine-readable summary on stdout")
     parser.add_argument("--replay", default=None, metavar="CE_JSON",
@@ -104,6 +108,26 @@ def _run_sweep(args: argparse.Namespace,
     return checker.sweep_delay(budget=args.budget, seed=args.seed,
                                bound=args.delay_bound,
                                stop_on_first=args.stop_on_first)
+
+
+def _export_counterexample_trace(checker: ModelChecker, ce: Counterexample,
+                                 path: str) -> str:
+    """Replay the shrunk counterexample with label-lifecycle tracing and
+    write the JSONL export; returns its digest."""
+    from repro.analysis.mc.controller import DELAY
+    from repro.obs import attach_tracer
+
+    hubs: list = []
+    checker.run_once(
+        FifoStrategy(), script=ce.decisions,
+        use_delays=any(d[0] == DELAY for d in ce.decisions),
+        instrument=lambda scenario: hubs.append(attach_tracer(scenario)))
+    meta = {"scenario": ce.scenario, "mutation": ce.mutation,
+            "schedule_hash": ce.schedule_hash}
+    exported = hubs[0].export_jsonl(meta=meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(exported)
+    return hubs[0].digest(meta=meta)
 
 
 def _emit(args: argparse.Namespace, payload: dict, text: str) -> None:
@@ -186,12 +210,17 @@ def main(argv: Optional[list] = None) -> int:
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(ce.to_json() + "\n")
+    if args.trace_out:
+        payload["trace_out"] = args.trace_out
+        payload["trace_digest"] = _export_counterexample_trace(
+            checker, ce, args.trace_out)
     text = "\n".join([
         result.summary(),
         "",
         "minimal counterexample:",
         ce.summary(),
-    ] + ([f"written to {args.out}"] if args.out else []))
+    ] + ([f"written to {args.out}"] if args.out else [])
+      + ([f"trace written to {args.trace_out}"] if args.trace_out else []))
     _emit(args, payload, text)
     return EXIT_COUNTEREXAMPLE
 

@@ -22,7 +22,7 @@ Three sweep modes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.analysis.mc.controller import (DELAY, FAULT, ScheduleController,
                                           TIE, decisions_hash)
@@ -94,14 +94,21 @@ class ModelChecker:
     # ------------------------------------------------------------------
 
     def run_once(self, strategy, script: Optional[Sequence[list]] = None,
-                 use_delays: bool = False) -> RunOutcome:
+                 use_delays: bool = False,
+                 instrument: Optional[Callable[[object], None]] = None
+                 ) -> RunOutcome:
         """Build a fresh scenario and run it once under *strategy*.
 
         ``script`` forces a decision prefix (replay / DFS); ``use_delays``
         turns the scenario's tree links into delay decision points (off by
         default so tie-only decision traces stay aligned across runs).
+        ``instrument`` is called with the built scenario before the
+        controller is installed (e.g. ``repro.obs.attach_tracer`` so a
+        counterexample replay comes with a label-lifecycle trace).
         """
         scenario = build_scenario(self.scenario, self.mutation)
+        if instrument is not None:
+            instrument(scenario)
         controller = ScheduleController(
             strategy, script=script,
             delay_links=scenario.delay_links if use_delays else None)

@@ -32,6 +32,8 @@ class ReconfigurationManager:
         self.service = service
         self.datacenters = list(datacenters)
         self.last_epoch: Optional[int] = None
+        #: opt-in label-lifecycle tracer (repro.obs)
+        self.obs = None
 
     def reconfigure(self, new_topology: TreeTopology,
                     emergency: bool = False) -> int:
@@ -43,6 +45,9 @@ class ReconfigurationManager:
         """
         epoch = self.service.next_epoch()
         self.service.install_tree(new_topology, epoch)
+        if self.obs is not None:
+            self.obs.annotate(self.service.sim.now, "epoch-change",
+                              "manager", epoch=epoch, emergency=emergency)
         for dc in self.datacenters:
             dc.switch_tree(epoch, emergency=emergency)
         self.service.current_epoch = epoch

@@ -91,6 +91,9 @@ class Serializer(Process):
         self._alive_replicas = self.chain_length
         self.labels_forwarded = 0
         self.labels_delivered = 0
+        #: opt-in label-lifecycle tracer (repro.obs.LabelTracer); the only
+        #: disabled-mode cost is one None check per routed batch
+        self.obs = None
         self.beacon_period = 0.0
         self._beacon_timer = None
         # Routing tables are static per epoch (reconfiguration installs a
@@ -191,6 +194,12 @@ class Serializer(Process):
         out_edges = self._out_edges
         attached = self._attached
         labels = batch.labels
+        obs = self.obs
+        if obs is not None:
+            now = self.sim.now
+            name = self.name
+            for label in labels:
+                obs.on_serializer_arrive(label, now, name, sender_process)
         for label in labels:
             interested = interest_of(label, replication)
             for neighbor, _, reachable, _ in out_edges:
@@ -217,6 +226,11 @@ class Serializer(Process):
             self._forward(self._peer_of[neighbor], out,
                           extra_delay=self._delay_of[neighbor])
             self.labels_forwarded += len(routed)
+            if obs is not None:
+                dwell = self._delay_of[neighbor] + self.chain_latency
+                peer = self._peer_of[neighbor]
+                for label in routed:
+                    obs.on_serializer_forward(label, now, name, peer, dwell)
         for dc, routed in per_dc.items():
             if len(routed) == total:
                 out = batch
@@ -225,6 +239,11 @@ class Serializer(Process):
                                  replayed=batch.replayed)
             self._forward(self._delivery_of[dc], out)
             self.labels_delivered += len(routed)
+            if obs is not None:
+                dwell = self.chain_latency
+                to = f"dc:{dc}"
+                for label in routed:
+                    obs.on_serializer_forward(label, now, name, to, dwell)
 
     def _forward(self, to: str, batch: LabelBatch, extra_delay: float = 0.0) -> None:
         delay = extra_delay + self.chain_latency

@@ -37,6 +37,9 @@ class SaturnService:
         self.beacon_period = beacon_period
         self._trees: Dict[int, Tuple[TreeTopology, Dict[str, Serializer]]] = {}
         self.current_epoch = 0
+        #: opt-in label-lifecycle tracer, inherited by every serializer
+        #: installed after it is set (repro.obs)
+        self.obs = None
 
     # ------------------------------------------------------------------
 
@@ -73,6 +76,7 @@ class SaturnService:
                 chain_length=self.chain_length,
                 local_hop_latency=self.local_hop_latency,
             )
+            proc.obs = self.obs
             proc.attach_network(self.network)
             self.network.place(proc.name, site)
             proc.start_beacons(self.beacon_period)
@@ -81,6 +85,10 @@ class SaturnService:
 
     def next_epoch(self) -> int:
         return max(self._trees) + 1 if self._trees else 0
+
+    def epochs(self) -> List[int]:
+        """Installed epochs, oldest first."""
+        return sorted(self._trees)
 
     # ------------------------------------------------------------------
 

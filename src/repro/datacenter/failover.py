@@ -88,6 +88,8 @@ class SinkFailoverDetector:
         self._reachable_reported = False
         #: highest beacon incarnation seen from the watched epoch's tree
         self._seen_incarnation = 0
+        #: opt-in label-lifecycle tracer (repro.obs)
+        self.obs = None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -157,6 +159,9 @@ class SinkFailoverDetector:
     def _enter(self, state: str) -> None:
         self.state = state
         self.transitions.append((self.dc.sim.now, state))
+        if self.obs is not None:
+            self.obs.annotate(self.dc.sim.now, "failover", self.dc.dc_name,
+                              state=state)
 
     def _check(self) -> None:
         if self.state != ATTACHED:

@@ -120,6 +120,8 @@ class RemoteProxy:
         self.labels_processed = 0
         self.updates_applied = 0
         self._prune_countdown = APPLIED_PRUNE_INTERVAL
+        #: opt-in label-lifecycle tracer (repro.obs)
+        self.obs = None
 
     # ------------------------------------------------------------------
     # event entry points (called by the datacenter process)
@@ -127,6 +129,22 @@ class RemoteProxy:
 
     def on_labels(self, batch: LabelBatch) -> None:
         """A label batch delivered by Saturn."""
+        obs = self.obs
+        if obs is not None:
+            if self.mode == "eventual":
+                disposition = "ignored-eventual"
+            elif batch.epoch > self.current_epoch:
+                disposition = "buffered-future-epoch"
+            elif batch.epoch < self.current_epoch:
+                disposition = "stale-dropped"
+            elif self._emergency:
+                disposition = "emergency-dropped"
+            else:
+                disposition = "queued"
+            now = self.dc.sim.now
+            dc_name = self.dc.dc_name
+            for label in batch.labels:
+                obs.on_deliver(label, now, dc_name, batch.epoch, disposition)
         if self.mode == "eventual":
             return
         if batch.replayed:
@@ -303,6 +321,8 @@ class RemoteProxy:
         label = slot.label
         key = _key(label)
         self.labels_processed += 1
+        obs = self.obs
+        applied_update = False
         if label.type is LabelType.UPDATE:
             if slot.payload is not None:
                 self._applied.add(key)
@@ -311,11 +331,19 @@ class RemoteProxy:
                                               value_size=slot.payload.value_size))
                 self.updates_applied += 1
                 self.dc.on_remote_visible(slot.payload)
+                applied_update = True
+                if obs is not None:
+                    obs.on_visible(label, self.dc.sim.now, self.dc.dc_name,
+                                   "saturn")
         elif label.type is LabelType.MIGRATION:
             self._migrations_done.add(key)
         elif label.type is LabelType.EPOCH_CHANGE:
             self._record_epoch_mark(label)
+            if obs is not None:
+                obs.on_finalized(label, self.dc.sim.now, self.dc.dc_name)
             return  # epoch marks do not advance origin watermarks
+        if obs is not None and not applied_update:
+            obs.on_finalized(label, self.dc.sim.now, self.dc.dc_name)
         self._advance_watermark(label)
 
     def _advance_watermark(self, label: Label) -> None:
@@ -390,6 +418,9 @@ class RemoteProxy:
             self._advance_watermark(slot.label)
             self.updates_applied += 1
             self.dc.on_remote_visible(payload)
+            if self.obs is not None:
+                self.obs.on_visible(slot.label, self.dc.sim.now,
+                                    self.dc.dc_name, "ts-drain")
             progressed = True
         # the stability watermark advances once everything below the cut
         # has been applied
@@ -420,6 +451,9 @@ class RemoteProxy:
         if self._in_timestamp_mode():
             return
         self._emergency = True
+        if self.obs is not None:
+            self.obs.annotate(self.dc.sim.now, "enter-fallback",
+                              self.dc.dc_name)
         self._queue.clear()
         # operations already dispatched will complete; their slots are
         # drained here so nothing is lost
@@ -442,6 +476,10 @@ class RemoteProxy:
         """The local datacenter switched its sink to the C2 tree."""
         self._transition_target = new_epoch
         self._transition_started_at = self.dc.sim.now
+        if self.obs is not None:
+            self.obs.annotate(self.dc.sim.now, "begin-transition",
+                              self.dc.dc_name, epoch=new_epoch,
+                              emergency=emergency)
         if emergency:
             self.enter_fallback()
         elif self.transition_timeout > 0:
@@ -516,6 +554,9 @@ class RemoteProxy:
     def _adopt_epoch(self, epoch: int) -> None:
         self.current_epoch = epoch
         self._transition_target = None
+        if self.obs is not None:
+            self.obs.annotate(self.dc.sim.now, "epoch-adopt",
+                              self.dc.dc_name, epoch=epoch)
         buffered = self._epoch_buffers.pop(epoch, [])
         self._queue.extend(buffered)
         # payloads that were parked for timestamp-order application but
@@ -546,6 +587,9 @@ class RemoteProxy:
             self._advance_watermark(payload.label)
             self.updates_applied += 1
             self.dc.on_remote_visible(payload)
+            if self.obs is not None:
+                self.obs.on_visible(payload.label, self.dc.sim.now,
+                                    self.dc.dc_name, "eventual")
             self._check_waiters()
 
         partition.cpu.submit(cost, _done)

@@ -92,6 +92,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write the run summary as JSON")
     parser.add_argument("--plan-out", metavar="FILE",
                         help="write the scenario's fault plan as JSON")
+    parser.add_argument("--trace-out", metavar="FILE",
+                        help="trace the run with repro.obs and write the "
+                             "JSONL label-lifecycle export")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -108,14 +111,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         build = lambda: build_chaos_scenario(args.scenario)  # noqa: E731
 
     scenario = build()
+    hub = None
+    if args.trace_out:
+        from repro.obs import attach_tracer
+        hub = attach_tracer(scenario)
     if args.plan_out and scenario.fault_plan is not None:
         Path(args.plan_out).write_text(scenario.fault_plan.to_json() + "\n")
     scenario.run()
     violations = evaluate_oracles(scenario)
     summary = _summarize(scenario, violations)
+    if hub is not None:
+        meta = {"scenario": summary["scenario"]}
+        Path(args.trace_out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.trace_out).write_text(hub.export_jsonl(meta=meta))
+        summary["obs_digest"] = hub.digest(meta=meta)
 
     if args.check_determinism:
         second = build()
+        hub2 = None
+        if hub is not None:
+            from repro.obs import attach_tracer
+            hub2 = attach_tracer(second)
         second.run()
         evaluate_oracles(second)
         summary["deterministic"] = second.digest() == summary["digest"]
@@ -124,6 +140,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"nondeterministic execution: digests differ "
                 f"({summary['digest']} vs {second.digest()})")
             summary["violations"] = violations
+        if hub2 is not None:
+            obs_ok = (hub2.digest(meta={"scenario": summary["scenario"]})
+                      == summary["obs_digest"])
+            summary["obs_deterministic"] = obs_ok
+            if not obs_ok:
+                violations.append(
+                    "nondeterministic trace export: obs digests differ")
+                summary["deterministic"] = False
+                summary["violations"] = violations
 
     if args.json_out:
         Path(args.json_out).parent.mkdir(parents=True, exist_ok=True)

@@ -9,6 +9,7 @@ Installed as the ``saturn-repro`` console script::
     saturn-repro configure                 # print the M-configuration
     saturn-repro mc --scenario chain3      # schedule-space model checking
     saturn-repro faults --list             # scripted chaos scenarios
+    saturn-repro obs --pair T S            # per-edge visibility breakdown
 """
 
 from __future__ import annotations
@@ -88,6 +89,13 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("faults_args", nargs=argparse.REMAINDER,
                         help="arguments forwarded to python -m repro.faults")
 
+    obs = sub.add_parser(
+        "obs", help="label-lifecycle tracing + per-edge visibility "
+                    "breakdown (repro.obs)",
+        add_help=False)
+    obs.add_argument("obs_args", nargs=argparse.REMAINDER,
+                     help="arguments forwarded to python -m repro.obs")
+
     return parser
 
 
@@ -132,6 +140,9 @@ def main(argv: Optional[list] = None) -> int:
     if argv and argv[0] == "faults":
         from repro.faults.__main__ import main as faults_main
         return faults_main(list(argv[1:]))
+    if argv and argv[0] == "obs":
+        from repro.obs.__main__ import main as obs_main
+        return obs_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
 
     if args.command == "list":

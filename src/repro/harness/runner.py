@@ -96,6 +96,10 @@ class ClusterConfig:
     #: opt-in runtime FIFO/determinism checker (repro.analysis.runtime);
     #: off by default so the hot path stays uninstrumented
     hazard_monitor: bool = False
+    #: opt-in label-lifecycle tracing + metrics registry (repro.obs); the
+    #: tracer schedules no events, so the simulated execution is identical
+    #: with it on or off
+    obs: bool = False
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEMS:
@@ -141,6 +145,19 @@ class Cluster:
         if config.hazard_monitor:
             from repro.analysis.runtime import HazardMonitor
             self.hazard_monitor = HazardMonitor.install(self.sim, self.network)
+        self.obs_hub = None
+        if config.obs:
+            from repro.obs import ObsHub
+            self.obs_hub = ObsHub(self.sim, self.network)
+            if self.hazard_monitor is not None:
+                # a trace is installed anyway: ride it with the tap (the
+                # monitor stays primary, its digest is unchanged).  With
+                # no monitor the trace slot stays empty on purpose —
+                # installing one would disable same-destination delivery
+                # batching and change the untraced event order.
+                from repro.analysis.mc.oracles import TraceTee
+                self.network.trace = TraceTee(self.hazard_monitor,
+                                              self.obs_hub.net_tap)
 
         def latency(a: str, b: str) -> float:
             if a == b:
@@ -172,6 +189,9 @@ class Cluster:
                                          self.replication,
                                          chain_length=config.chain_length,
                                          beacon_period=config.beacon_period)
+            if self.obs_hub is not None:
+                # before install_tree, so the serializers inherit the tracer
+                self.service.obs = self.obs_hub.tracer
             self.service.install_tree(topology, epoch=0)
         for site in self.sites:
             self.datacenters[site] = self._make_datacenter(site)
@@ -199,6 +219,12 @@ class Cluster:
                                   metrics=self.metrics,
                                   execution_log=self.execution_log)
             dc.saturn = self.service
+            if self.obs_hub is not None:
+                tracer = self.obs_hub.tracer
+                dc.sink.obs = tracer
+                dc.proxy.obs = tracer
+                if dc.failover is not None:
+                    dc.failover.obs = tracer
         elif config.system == "gentlerain":
             dc = GentleRainDatacenter(self.sim, site, site, self.replication,
                                       config.cost_model, clock,
@@ -252,6 +278,8 @@ class Cluster:
         from repro.core.reconfig import ReconfigurationManager
         self.manager = ReconfigurationManager(
             self.service, list(self.datacenters.values()))
+        if self.obs_hub is not None:
+            self.manager.obs = self.obs_hub.tracer
         self.failover = AutoFailover(self.manager)
         for dc in self.datacenters.values():
             if getattr(dc, "failover", None) is not None:
@@ -283,6 +311,8 @@ class Cluster:
         self.sim.run(until=duration)
         for client in self.clients:
             client.stop()
+        if self.obs_hub is not None:
+            self.obs_hub.sample_kernel()
         throughput = self.metrics.ops.throughput(warmup, duration)
         return RunResults(
             throughput=throughput,

@@ -1,0 +1,101 @@
+"""Trace/metrics exports: JSON-lines, Chrome trace-event format, digests.
+
+The JSONL export is the canonical serialization: a header line pinning the
+schema version, one line per label chain in ``(ts, src)`` order, the
+annotation stream, and the metrics registry.  Keys are sorted and floats
+use Python's shortest round-trip repr, so the bytes — and therefore the
+SHA-256 digest — are a pure function of the simulated execution.  The
+golden-trace tests commit one export verbatim; change the schema and they
+tell you.
+
+The Chrome export produces a ``chrome://tracing`` / Perfetto-loadable
+trace-event JSON: one complete (``ph: "X"``) event per derived span with a
+process row per simulated node, timestamps converted from simulated
+milliseconds to trace microseconds, plus instant events for annotations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import List, Optional
+
+from repro.obs.trace import LabelTracer
+
+__all__ = ["SCHEMA", "export_jsonl", "export_chrome", "trace_digest"]
+
+SCHEMA = "saturn-obs/v1"
+
+
+def _dumps(obj: dict) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def export_jsonl(tracer: LabelTracer, registry=None,
+                 meta: Optional[dict] = None) -> str:
+    """Canonical JSON-lines export (deterministic bytes)."""
+    lines: List[str] = []
+    header: dict = {"kind": "header", "schema": SCHEMA}
+    if meta:
+        header["meta"] = meta
+    lines.append(_dumps(header))
+    for (ts, src), events in tracer.chains():
+        lines.append(_dumps({
+            "kind": "chain",
+            "label": {"ts": ts, "src": src},
+            "events": [event.to_obj() for event in events],
+        }))
+    for event in tracer.annotations:
+        record = {"kind": "annotation", "annotation": event.kind,
+                  "node": event.node, "t": event.t}
+        if event.extra:
+            record["extra"] = event.extra
+        lines.append(_dumps(record))
+    if registry is not None:
+        lines.append(_dumps({"kind": "metrics", "metrics": registry.to_dict()}))
+    return "\n".join(lines) + "\n"
+
+
+def trace_digest(exported: str) -> str:
+    """SHA-256 over the canonical export bytes."""
+    return hashlib.sha256(exported.encode("utf-8")).hexdigest()
+
+
+def export_chrome(tracer: LabelTracer) -> dict:
+    """Chrome trace-event document (``ph:"X"`` spans, µs timestamps)."""
+    # stable node -> pid mapping plus process_name metadata rows
+    nodes: List[str] = []
+    seen = set()
+    for _, events in tracer.chains():
+        for event in events:
+            if event.node not in seen:
+                seen.add(event.node)
+                nodes.append(event.node)
+    for event in tracer.annotations:
+        if event.node not in seen:
+            seen.add(event.node)
+            nodes.append(event.node)
+    pid_of = {node: index + 1 for index, node in enumerate(sorted(nodes))}
+
+    trace_events: List[dict] = []
+    for node in sorted(pid_of):
+        trace_events.append({"ph": "M", "name": "process_name",
+                             "pid": pid_of[node], "tid": 0,
+                             "args": {"name": node}})
+    for tid, ((ts, src), events) in enumerate(tracer.chains(), start=1):
+        for span in tracer.spans((ts, src)):
+            trace_events.append({
+                "ph": "X", "cat": "label", "name": span.name,
+                "pid": pid_of[span.node], "tid": tid,
+                "ts": span.start * 1000.0,
+                "dur": (span.end - span.start) * 1000.0,
+                "args": {"label_ts": ts, "label_src": src},
+            })
+    for event in tracer.annotations:
+        trace_events.append({
+            "ph": "i", "s": "g", "cat": "annotation", "name": event.kind,
+            "pid": pid_of[event.node], "tid": 0,
+            "ts": event.t * 1000.0,
+            "args": dict(event.extra),
+        })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}

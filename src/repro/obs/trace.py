@@ -1,0 +1,324 @@
+"""Label-lifecycle tracing: one causally-linked event chain per label.
+
+Every label minted by a sink is identified by its ``(ts, src)`` key — the
+same key the remote proxies deduplicate on — and accumulates a chronological
+list of :class:`TraceEvent` records as it moves through the system:
+
+``issue``        minted at the origin datacenter's label sink;
+``flush``        shipped towards the tree by the sink (``replayed`` marks
+                 the degraded-mode backlog replay);
+``ser-arrive``   received by a serializer (``from`` = sending process);
+``ser-forward``  routed out of a serializer (``to`` = target process,
+                 ``dwell`` = artificial edge delay δij + chain latency the
+                 batch will sit on before hitting the wire);
+``deliver``      a label batch reached a remote proxy (``disposition``
+                 records what the proxy did with it);
+``visible``      the update became visible at a replica (``mode`` is
+                 ``saturn``, ``ts-drain`` — the degraded (ts,source)
+                 drain — or ``eventual``);
+``finalized``    a non-update label (heartbeat / migration / epoch mark)
+                 completed its turn in the visibility pipeline.
+
+Cluster-wide happenings that are not tied to one label (failover state
+transitions, sink park/replay, epoch changes and adoptions) are recorded as
+*annotations* — the same record shape with no label key.
+
+Everything stored here is a pure function of simulated time and process
+names, so a traced run exports bit-identically across double runs of the
+same seed.  The tracer never schedules events and never touches the
+network, which keeps the traced execution itself identical to the untraced
+one (see the transparency test in tests/obs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.label import Label
+
+__all__ = ["TraceEvent", "Span", "LabelTracer", "chain_problems",
+           "derive_spans"]
+
+LabelKey = Tuple[float, str]
+
+
+class TraceEvent:
+    """One step of a label's life (or one cluster annotation)."""
+
+    __slots__ = ("t", "kind", "node", "extra")
+
+    def __init__(self, t: float, kind: str, node: str,
+                 extra: Optional[dict] = None) -> None:
+        self.t = t
+        self.kind = kind
+        self.node = node
+        self.extra = extra if extra is not None else {}
+
+    def to_obj(self) -> dict:
+        obj = {"t": self.t, "kind": self.kind, "node": self.node}
+        if self.extra:
+            obj["extra"] = self.extra
+        return obj
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceEvent(t={self.t!r}, kind={self.kind!r}, node={self.node!r})"
+
+
+class Span:
+    """A derived ``[start, end]`` interval in a label's lifecycle."""
+
+    __slots__ = ("name", "node", "start", "end", "parent")
+
+    def __init__(self, name: str, node: str, start: float, end: float,
+                 parent: Optional[str] = None) -> None:
+        self.name = name
+        self.node = node
+        self.start = start
+        self.end = end
+        self.parent = parent
+
+    def to_obj(self) -> dict:
+        return {"name": self.name, "node": self.node,
+                "start": self.start, "end": self.end, "parent": self.parent}
+
+
+class LabelTracer:
+    """Collects per-label event chains plus cluster annotations.
+
+    Hot-path call sites hold a reference and guard with
+    ``if self.obs is not None`` so the disabled cost is one attribute load.
+    The optional *registry* (a :class:`repro.obs.metrics.MetricsRegistry`)
+    receives component-keyed counters alongside the chains.
+    """
+
+    def __init__(self, registry=None) -> None:
+        #: (ts, src) -> chronological event list; key insertion order is
+        #: simulation order, but exports re-sort by key for stability
+        self._chains: Dict[LabelKey, List[TraceEvent]] = {}
+        self.annotations: List[TraceEvent] = []
+        self.registry = registry
+
+    # -- recording ----------------------------------------------------------
+
+    def _events(self, label: Label) -> List[TraceEvent]:
+        key = (label.ts, label.src)
+        events = self._chains.get(key)
+        if events is None:
+            events = self._chains[key] = []
+        return events
+
+    def on_issue(self, label: Label, t: float, dc: str) -> None:
+        self._events(label).append(TraceEvent(t, "issue", dc, {
+            "type": label.type.value, "target": label.target,
+            "origin": label.origin_dc}))
+        reg = self.registry
+        if reg is not None:
+            reg.counter(f"sink/{dc}", "labels_issued").inc(at=t)
+
+    def on_flush(self, label: Label, t: float, dc: str,
+                 replayed: bool = False) -> None:
+        extra = {"replayed": True} if replayed else None
+        self._events(label).append(TraceEvent(t, "flush", dc, extra))
+        reg = self.registry
+        if reg is not None:
+            name = "labels_replayed" if replayed else "labels_flushed"
+            reg.counter(f"sink/{dc}", name).inc(at=t)
+
+    def on_serializer_arrive(self, label: Label, t: float, node: str,
+                             sender: str) -> None:
+        self._events(label).append(
+            TraceEvent(t, "ser-arrive", node, {"from": sender}))
+        reg = self.registry
+        if reg is not None:
+            reg.counter(f"serializer/{node}", "labels_in").inc(at=t)
+
+    def on_serializer_forward(self, label: Label, t: float, node: str,
+                              to: str, dwell: float) -> None:
+        self._events(label).append(
+            TraceEvent(t, "ser-forward", node, {"to": to, "dwell": dwell}))
+        reg = self.registry
+        if reg is not None:
+            reg.counter(f"serializer/{node}", "labels_out").inc(at=t)
+
+    def on_deliver(self, label: Label, t: float, dc: str, epoch: int,
+                   disposition: str) -> None:
+        self._events(label).append(TraceEvent(t, "deliver", dc, {
+            "epoch": epoch, "disposition": disposition}))
+        reg = self.registry
+        if reg is not None:
+            reg.counter(f"proxy/{dc}", f"delivered_{disposition}").inc(at=t)
+
+    def on_visible(self, label: Label, t: float, dc: str, mode: str) -> None:
+        self._events(label).append(
+            TraceEvent(t, "visible", dc, {"mode": mode}))
+        reg = self.registry
+        if reg is not None:
+            reg.counter(f"proxy/{dc}", f"visible_{mode}").inc(at=t)
+
+    def on_finalized(self, label: Label, t: float, dc: str) -> None:
+        self._events(label).append(TraceEvent(t, "finalized", dc))
+
+    def annotate(self, t: float, kind: str, node: str, **extra) -> None:
+        self.annotations.append(
+            TraceEvent(t, kind, node, extra if extra else None))
+        reg = self.registry
+        if reg is not None:
+            reg.counter(f"events/{node}", kind.replace("-", "_")).inc(at=t)
+
+    # -- reading ------------------------------------------------------------
+
+    def chains(self) -> Iterator[Tuple[LabelKey, List[TraceEvent]]]:
+        """Chains in ``(ts, src)`` order (deterministic across runs)."""
+        for key in sorted(self._chains):
+            yield key, self._chains[key]
+
+    def events(self, key: LabelKey) -> List[TraceEvent]:
+        return self._chains.get(key, [])
+
+    def num_chains(self) -> int:
+        return len(self._chains)
+
+    def spans(self, key: LabelKey) -> List[Span]:
+        return derive_spans(self._chains.get(key, []))
+
+
+# ---------------------------------------------------------------------------
+# span derivation
+# ---------------------------------------------------------------------------
+
+def _event_end(event: TraceEvent) -> float:
+    if event.kind == "ser-forward":
+        return event.t + event.extra.get("dwell", 0.0)
+    return event.t
+
+
+def derive_spans(events: List[TraceEvent]) -> List[Span]:
+    """Derive the span tree of one chain.
+
+    The root span covers the label's whole life (issue to the last thing
+    known about it, including dwell time a final forward committed to).
+    Children: the sink dwell at the origin, one span per serializer visit
+    (arrival to the departure of its last forward), and one per destination
+    proxy (first delivery to visibility).  Children nest inside the root by
+    construction.
+    """
+    if not events:
+        return []
+    start = events[0].t
+    end = start
+    for event in events:
+        event_end = _event_end(event)
+        if event_end > end:
+            end = event_end
+    root = Span("label", events[0].node, start, end, parent=None)
+    spans = [root]
+
+    # sink span: issue -> first flush at the same node
+    issue = events[0] if events[0].kind == "issue" else None
+    if issue is not None:
+        for event in events:
+            if event.kind == "flush" and event.node == issue.node:
+                spans.append(Span("sink", issue.node, issue.t, event.t,
+                                  parent="label"))
+                break
+
+    # serializer visits: each ser-arrive opens a visit; forwards at the
+    # same node extend it until the next arrive at that node
+    open_visits: Dict[str, Span] = {}
+    for event in events:
+        if event.kind == "ser-arrive":
+            span = Span("serializer", event.node, event.t, event.t,
+                        parent="label")
+            open_visits[event.node] = span
+            spans.append(span)
+        elif event.kind == "ser-forward":
+            span = open_visits.get(event.node)
+            if span is not None:
+                departure = _event_end(event)
+                if departure > span.end:
+                    span.end = departure
+
+    # proxy spans: first deliver at a node -> visible/finalized there
+    first_deliver: Dict[str, TraceEvent] = {}
+    for event in events:
+        if event.kind == "deliver" and event.node not in first_deliver:
+            first_deliver[event.node] = event
+    for node in sorted(first_deliver):
+        deliver = first_deliver[node]
+        span_end = deliver.t
+        for event in events:
+            # a ts-drain visibility can predate a (stale) late delivery;
+            # the proxy span only covers delivery -> resolution
+            if (event.kind in ("visible", "finalized")
+                    and event.node == node and event.t >= deliver.t):
+                span_end = event.t
+                break
+        spans.append(Span("proxy", node, deliver.t, span_end,
+                          parent="label"))
+    return spans
+
+
+# ---------------------------------------------------------------------------
+# chain well-formedness (shared by property tests and the CLI)
+# ---------------------------------------------------------------------------
+
+def chain_problems(key: LabelKey, events: List[TraceEvent]) -> List[str]:
+    """Structural defects of one chain; empty means well-formed.
+
+    Checked invariants: events are recorded in nondecreasing simulated
+    time; a saturn-mode ``visible`` is preceded by a ``deliver`` at the
+    same node; every ``deliver`` is preceded by a ``flush``; every
+    ``flush`` follows the ``issue``; a node sees at most one ``visible``;
+    and all derived spans are well-formed intervals nested in the root.
+    """
+    problems: List[str] = []
+    tag = f"label ({key[0]!r}, {key[1]!r})"
+    if not events:
+        problems.append(f"{tag}: empty chain")
+        return problems
+    last_t = events[0].t
+    for event in events:
+        if event.t < last_t:
+            problems.append(f"{tag}: time went backwards at {event.kind}")
+        last_t = event.t
+
+    issue_t: Optional[float] = None
+    flush_t: Optional[float] = None
+    delivered_t: Dict[str, float] = {}
+    visible_nodes: List[str] = []
+    for event in events:
+        if event.kind == "issue":
+            if issue_t is None:
+                issue_t = event.t
+        elif event.kind == "flush":
+            if issue_t is None:
+                problems.append(f"{tag}: flush before issue")
+            if flush_t is None:
+                flush_t = event.t
+        elif event.kind == "deliver":
+            if flush_t is None:
+                problems.append(f"{tag}: deliver at {event.node} "
+                                f"without a prior flush")
+            if event.node not in delivered_t:
+                delivered_t[event.node] = event.t
+        elif event.kind == "visible":
+            if event.node in visible_nodes:
+                problems.append(f"{tag}: visible twice at {event.node}")
+            visible_nodes.append(event.node)
+            if (event.extra.get("mode") == "saturn"
+                    and event.node not in delivered_t):
+                problems.append(f"{tag}: saturn-visible at {event.node} "
+                                f"without a delivery")
+
+    spans = derive_spans(events)
+    if spans:
+        root = spans[0]
+        for span in spans:
+            if span.end < span.start:
+                problems.append(f"{tag}: span {span.name}@{span.node} "
+                                f"ends before it starts")
+            if span.parent == "label" and (span.start < root.start
+                                           or span.end > root.end):
+                problems.append(f"{tag}: span {span.name}@{span.node} "
+                                f"escapes the root span")
+    return problems

@@ -23,10 +23,11 @@ from typing import List, Optional
 
 from repro.perf.baseline import (DEFAULT_TOLERANCE, build_result, compare,
                                  load_result, save_result)
-from repro.perf.benches import bench_figure, bench_kernel, bench_tree
+from repro.perf.benches import (bench_figure, bench_kernel, bench_obs,
+                                bench_tree)
 from repro.perf.measure import calibrate
 
-BENCHES = ("kernel", "tree", "figure")
+BENCHES = ("kernel", "tree", "obs", "figure")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -51,7 +52,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--skip", action="append", default=[],
                         choices=BENCHES, metavar="BENCH",
                         help="skip one bench (repeatable): kernel, tree, "
-                             "figure")
+                             "obs, figure")
     parser.add_argument("--kernel-events", type=int, default=300_000,
                         metavar="N", help="kernel bench event count")
     parser.add_argument("--tree-batches", type=int, default=120, metavar="N",
@@ -75,6 +76,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             events=args.kernel_events, repeats=repeats(3))
     if "tree" not in args.skip:
         metrics["tree_label_deliveries_per_sec"] = bench_tree(
+            batches_per_dc=args.tree_batches, repeats=repeats(3))
+    if "obs" not in args.skip:
+        metrics["obs_disabled_tree_labels_per_sec"] = bench_obs(
             batches_per_dc=args.tree_batches, repeats=repeats(3))
     if "figure" not in args.skip:
         metrics["figure_smoke_seconds"] = bench_figure(repeats=repeats(2))

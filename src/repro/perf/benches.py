@@ -1,4 +1,4 @@
-"""The three benchmarks behind ``python -m repro.perf``.
+"""The benchmarks behind ``python -m repro.perf``.
 
 * :func:`bench_kernel` — raw :class:`~repro.sim.engine.Simulator` heap
   throughput (events/sec) on a self-rescheduling tick workload; the number
@@ -7,6 +7,10 @@
   serializer tree over the paper's Table-1 EC2 latencies; exercises
   ``Network.send`` delivery batching, serializer routing-table caches and
   interest memoization together.
+* :func:`bench_obs` — the same serializer-tree hot path with the
+  :mod:`repro.obs` hooks compiled in but *disabled* (``obs is None``), the
+  configuration every ordinary run pays for; guards the near-zero-cost
+  promise of the instrumentation.
 * :func:`bench_figure` — wall-clock seconds for one smoke-scale figure run
   (the full stack: datacenters, gears, clients, metrics), i.e. what a
   contributor actually waits for.
@@ -31,7 +35,8 @@ from repro.sim.network import Network
 from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
 
-__all__ = ["bench_kernel", "bench_tree", "bench_figure", "TREE_SITES"]
+__all__ = ["bench_kernel", "bench_tree", "bench_obs", "bench_figure",
+           "TREE_SITES"]
 
 #: the paper's seven EC2 regions — one datacenter per region
 TREE_SITES: Tuple[str, ...] = tuple(EC2_REGIONS)
@@ -102,6 +107,53 @@ def _chain_topology(sites: Tuple[str, ...]) -> TreeTopology:
                         attachments=attachments)
 
 
+def _tree_run(batches_per_dc: int, labels_per_batch: int,
+              sites: Tuple[str, ...], traced: bool = False) -> Tuple[int, float]:
+    """One timed serializer-tree run; ``traced`` attaches a LabelTracer."""
+    sim = Simulator()
+    network = Network(sim, latency_model=ec2_latency_model(),
+                      default_latency=0.25, rng=RngRegistry(seed=11))
+    replication = ReplicationMap(list(sites))
+    service = SaturnService(sim, network, replication)
+    if traced:
+        # imported lazily so the untraced bench never touches repro.obs
+        from repro.obs import ObsHub
+        service.obs = ObsHub(sim, network).tracer
+    topology = _chain_topology(sites)
+    service.install_tree(topology, epoch=0)
+    counters: List[_LabelCounter] = []
+    for site in sites:
+        counter = _LabelCounter(sim, site)
+        counter.attach_network(network)
+        network.place(counter.name, site)
+        counters.append(counter)
+
+    def make_injector(site: str, ingress: str, batch_index: int):
+        base_ts = float(batch_index * labels_per_batch)
+
+        def inject() -> None:
+            labels = tuple(
+                Label(LabelType.UPDATE, src=f"{site}/gear",
+                      ts=base_ts + offset, target=f"key{offset}",
+                      origin_dc=site)
+                for offset in range(labels_per_batch))
+            network.send(f"sink:{site}", ingress, LabelBatch(labels))
+
+        return inject
+
+    for site in sites:
+        ingress = service.ingress_process(site, epoch=0)
+        assert ingress is not None
+        for batch_index in range(batches_per_dc):
+            sim.schedule(1.0 * batch_index,
+                         make_injector(site, ingress, batch_index))
+    start = wall_clock()
+    sim.run()
+    elapsed = wall_clock() - start
+    delivered = sum(counter.labels_received for counter in counters)
+    return delivered, elapsed
+
+
 def bench_tree(batches_per_dc: int = 120, labels_per_batch: int = 24,
                repeats: int = 3,
                sites: Tuple[str, ...] = TREE_SITES) -> Dict:
@@ -115,44 +167,7 @@ def bench_tree(batches_per_dc: int = 120, labels_per_batch: int = 24,
     """
 
     def run() -> Tuple[int, float]:
-        sim = Simulator()
-        network = Network(sim, latency_model=ec2_latency_model(),
-                          default_latency=0.25, rng=RngRegistry(seed=11))
-        replication = ReplicationMap(list(sites))
-        service = SaturnService(sim, network, replication)
-        topology = _chain_topology(sites)
-        service.install_tree(topology, epoch=0)
-        counters: List[_LabelCounter] = []
-        for site in sites:
-            counter = _LabelCounter(sim, site)
-            counter.attach_network(network)
-            network.place(counter.name, site)
-            counters.append(counter)
-
-        def make_injector(site: str, ingress: str, batch_index: int):
-            base_ts = float(batch_index * labels_per_batch)
-
-            def inject() -> None:
-                labels = tuple(
-                    Label(LabelType.UPDATE, src=f"{site}/gear",
-                          ts=base_ts + offset, target=f"key{offset}",
-                          origin_dc=site)
-                    for offset in range(labels_per_batch))
-                network.send(f"sink:{site}", ingress, LabelBatch(labels))
-
-            return inject
-
-        for site in sites:
-            ingress = service.ingress_process(site, epoch=0)
-            assert ingress is not None
-            for batch_index in range(batches_per_dc):
-                sim.schedule(1.0 * batch_index,
-                             make_injector(site, ingress, batch_index))
-        start = wall_clock()
-        sim.run()
-        elapsed = wall_clock() - start
-        delivered = sum(counter.labels_received for counter in counters)
-        return delivered, elapsed
+        return _tree_run(batches_per_dc, labels_per_batch, sites)
 
     rate, work, elapsed = best_rate(run, repeats)
     expected = len(sites) * batches_per_dc * labels_per_batch * (len(sites) - 1)
@@ -163,6 +178,38 @@ def bench_tree(batches_per_dc: int = 120, labels_per_batch: int = 24,
         "meta": {"labels_delivered": work, "expected": expected,
                  "seconds": elapsed, "batches_per_dc": batches_per_dc,
                  "labels_per_batch": labels_per_batch, "repeats": repeats},
+    }
+
+
+def bench_obs(batches_per_dc: int = 120, labels_per_batch: int = 24,
+              repeats: int = 3,
+              sites: Tuple[str, ...] = TREE_SITES) -> Dict:
+    """Serializer-tree throughput with the obs hooks present but disabled.
+
+    Identical workload to :func:`bench_tree`; the measured number is the
+    rate every *untraced* run pays, i.e. the routing hot path plus one
+    ``obs is not None`` test per batch arrival and forward.  A traced run
+    is also timed once so the baseline records the enabled-path overhead
+    (informational only — the regression gate watches the disabled rate).
+    """
+
+    def run() -> Tuple[int, float]:
+        return _tree_run(batches_per_dc, labels_per_batch, sites)
+
+    rate, work, elapsed = best_rate(run, repeats)
+    traced_work, traced_elapsed = _tree_run(batches_per_dc, labels_per_batch,
+                                            sites, traced=True)
+    traced_rate = traced_work / traced_elapsed if traced_elapsed else 0.0
+    return {
+        "raw": rate,
+        "unit": "labels/s",
+        "higher_is_better": True,
+        "meta": {"labels_delivered": work, "seconds": elapsed,
+                 "batches_per_dc": batches_per_dc,
+                 "labels_per_batch": labels_per_batch, "repeats": repeats,
+                 "traced_labels_per_sec": traced_rate,
+                 "traced_overhead_pct": (100.0 * (rate - traced_rate) / rate
+                                         if rate else 0.0)},
     }
 
 

@@ -166,6 +166,14 @@ def test_src_repro_is_lint_clean_in_process():
     assert report.ok, report.format_human()
 
 
+def test_obs_package_is_lint_clean():
+    # the observability layer must obey the same determinism discipline it
+    # exists to verify (no wall clocks, no unsorted iteration in exports)
+    report = lint_paths([REPO_ROOT / "src" / "repro" / "obs"])
+    assert report.files_checked >= 6
+    assert report.ok, report.format_human()
+
+
 def test_cli_on_src_repro_exits_zero_with_json():
     env = dict(os.environ)
     env["PYTHONPATH"] = (str(REPO_ROOT / "src")

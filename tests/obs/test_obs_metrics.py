@@ -1,0 +1,158 @@
+"""Unit tests for the obs metrics registry plus the repro.metrics edge
+cases the observability layer leans on (percentile interpolation, CDFs,
+windowed visibility queries)."""
+
+import pytest
+
+from repro.metrics.stats import cdf_points, mean, percentile
+from repro.metrics.visibility import VisibilityRecorder
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+# ---------------------------------------------------------------------------
+# counters / gauges / histograms
+# ---------------------------------------------------------------------------
+
+def test_counter_accumulates_and_windows():
+    counter = Counter(window=10.0)
+    counter.inc(at=1.0)
+    counter.inc(2.0, at=9.9)
+    counter.inc(at=10.0)
+    counter.inc(at=25.0)
+    assert counter.value == 5.0
+    assert counter.series() == [(0.0, 3.0), (10.0, 1.0), (20.0, 1.0)]
+    assert counter.to_obj() == {"value": 5.0,
+                                "series": [[0.0, 3.0], [10.0, 1.0],
+                                           [20.0, 1.0]]}
+
+
+def test_counter_without_window_has_no_series():
+    counter = Counter()
+    counter.inc(at=123.0)
+    assert counter.series() == []
+    assert counter.to_obj() == {"value": 1.0}
+
+
+def test_gauge_last_write_wins():
+    gauge = Gauge()
+    gauge.set(5.0, at=1.0)
+    gauge.set(3.0, at=2.0)
+    assert gauge.to_obj() == {"value": 3.0, "at": 2.0, "updates": 2}
+
+
+def test_histogram_window_query_is_half_open():
+    histogram = Histogram()
+    for at, value in [(0.0, 1.0), (5.0, 2.0), (10.0, 3.0), (15.0, 4.0)]:
+        histogram.observe(value, at=at)
+    assert histogram.values_in(5.0, 15.0) == [2.0, 3.0]
+    assert histogram.values_in(5.0, 15.0001) == [2.0, 3.0, 4.0]
+    assert histogram.values_in(20.0, 30.0) == []
+    assert histogram.count == 4
+
+
+def test_histogram_summary_percentiles():
+    histogram = Histogram()
+    for value in range(1, 11):
+        histogram.observe(float(value), at=float(value))
+    obj = histogram.to_obj()
+    assert obj["count"] == 10
+    assert obj["min"] == 1.0 and obj["max"] == 10.0
+    assert obj["mean"] == mean([float(v) for v in range(1, 11)])
+    assert obj["p50"] == pytest.approx(5.5)
+
+
+def test_empty_histogram_summary_is_count_only():
+    assert Histogram().to_obj() == {"count": 0}
+
+
+def test_registry_get_or_create_and_sorted_export():
+    registry = MetricsRegistry(window=50.0)
+    assert registry.counter("a", "x") is registry.counter("a", "x")
+    registry.counter("b", "y").inc(at=1.0)
+    registry.gauge("a", "g").set(7.0, at=2.0)
+    registry.histogram("c", "h").observe(1.5, at=3.0)
+    exported = registry.to_dict()
+    assert exported["window"] == 50.0
+    assert list(exported["counters"]) == ["a/x", "b/y"]
+    assert exported["gauges"]["a/g"]["value"] == 7.0
+    assert exported["histograms"]["c/h"]["count"] == 1
+    # counters inherit the registry window
+    assert exported["counters"]["b/y"]["series"] == [[0.0, 1.0]]
+
+
+# ---------------------------------------------------------------------------
+# repro.metrics.stats edges
+# ---------------------------------------------------------------------------
+
+def test_cdf_points_empty_input():
+    assert cdf_points([]) == []
+
+
+def test_cdf_points_reach_one():
+    points = cdf_points([3.0, 1.0, 2.0])
+    assert points == [(1.0, 1 / 3), (2.0, 2 / 3), (3.0, 1.0)]
+
+
+def test_percentile_extremes_and_interpolation():
+    samples = [10.0, 0.0, 20.0, 30.0, 40.0]
+    assert percentile(samples, 0) == 0.0
+    assert percentile(samples, 100) == 40.0
+    assert percentile(samples, 50) == 20.0
+    # rank 0.25 * 4 = 1 exactly; 37.5 lands between indices 1 and 2
+    assert percentile(samples, 37.5) == pytest.approx(15.0)
+
+
+def test_percentile_single_sample_is_constant():
+    assert percentile([7.5], 0) == 7.5
+    assert percentile([7.5], 63.0) == 7.5
+    assert percentile([7.5], 100) == 7.5
+
+
+def test_percentile_rejects_empty_and_out_of_range():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+    with pytest.raises(ValueError):
+        percentile([1.0], -1)
+
+
+# ---------------------------------------------------------------------------
+# VisibilityRecorder window queries around warmup
+# ---------------------------------------------------------------------------
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+def test_visibility_recorder_drops_warmup_and_windows():
+    clock = _FakeClock()
+    recorder = VisibilityRecorder(warmup_until=100.0)
+    recorder.bind_clock(clock)
+
+    clock.now = 99.9
+    recorder.record_visibility("I", "T", 5.0)   # inside warmup: dropped
+    clock.now = 100.0
+    recorder.record_visibility("I", "T", 6.0)   # boundary: kept
+    clock.now = 150.0
+    recorder.record_visibility("I", "T", 7.0)
+    recorder.record_visibility("F", "T", 9.0)
+
+    assert recorder.count() == 3
+    assert recorder.samples("I", "T") == [6.0, 7.0]
+    # recorded-at windows are half-open [t0, t1)
+    assert recorder.samples_in_window(100.0, 150.0) == [6.0]
+    assert recorder.samples_in_window(100.0, 150.1, origin="I") == [6.0, 7.0]
+    assert recorder.samples_in_window(0.0, 100.0) == []
+    assert recorder.mean_in_window(100.0, 151.0, dest="T") == pytest.approx(
+        (6.0 + 7.0 + 9.0) / 3)
+
+
+def test_visibility_recorder_unbound_clock_keeps_samples_without_timeline():
+    recorder = VisibilityRecorder(warmup_until=100.0)
+    recorder.record_visibility("I", "T", 5.0)   # no clock: warmup unenforced
+    assert recorder.samples() == [5.0]
+    # the timeline needs a clock, so windowed queries see nothing
+    assert recorder.samples_in_window(0.0, 1e9) == []
+    assert recorder.mean_in_window(0.0, 1e9) == 0.0
