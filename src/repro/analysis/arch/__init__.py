@@ -1,0 +1,31 @@
+"""Transport-readiness architecture audit (the ARCHxxx rules).
+
+Three static passes over the source tree, checked against the committed
+``arch_contract.toml``:
+
+1. **layers** — the import graph honors the layer order (sim kernel <-
+   core protocol <- datacenter <- services <- tools), has no cycles, and
+   protocol code touches the kernel only through sanctioned seams
+   (ARCH001–ARCH004);
+2. **purity** — no protocol entry point transitively reaches a wall clock,
+   global RNG, entropy source, thread/event-loop primitive, or file/socket
+   I/O; findings carry the full witness call chain (ARCH101);
+3. **wire** — every message is an immutable plain-data dataclass, every
+   constructed message has a handler, and handler sites only touch fields
+   that exist (ARCH201–ARCH204).
+
+CLI: ``python -m repro.analysis.arch`` or ``saturn-repro arch``.
+"""
+
+from repro.analysis.arch.audit import PASS_NAMES, find_contract, run_audit
+from repro.analysis.arch.contract import (
+    ArchContract, ContractError, Layer, load_contract)
+from repro.analysis.arch.report import ArchFinding, ArchReport
+from repro.analysis.arch.rules import ALL_ARCH_RULES, ARCH_RULES_BY_CODE, \
+    ArchRule
+
+__all__ = [
+    "ALL_ARCH_RULES", "ARCH_RULES_BY_CODE", "ArchContract", "ArchFinding",
+    "ArchReport", "ArchRule", "ContractError", "Layer", "PASS_NAMES",
+    "find_contract", "load_contract", "run_audit",
+]

@@ -1,0 +1,109 @@
+"""CLI for the architecture audit.
+
+Usage::
+
+    python -m repro.analysis.arch                 # audit the repo tree
+    python -m repro.analysis.arch --json
+    python -m repro.analysis.arch --passes layers,wire
+    python -m repro.analysis.arch path/to/pkg --contract my_contract.toml
+
+Exit status: 0 when the audited tree is clean, 1 when there are findings,
+2 on usage/contract errors.  With no explicit root, the tree is located
+from the contract: ``<contract dir>/src/<root_package>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.arch.audit import PASS_NAMES, find_contract, run_audit
+from repro.analysis.arch.contract import ContractError, load_contract
+from repro.analysis.arch.rules import ALL_ARCH_RULES
+
+__all__ = ["main"]
+
+
+def _default_root(contract_path: Path, root_package: str) -> Optional[Path]:
+    base = contract_path.parent
+    for candidate in (base / "src" / Path(*root_package.split(".")),
+                      base / Path(*root_package.split("."))):
+        if candidate.is_dir():
+            return candidate
+    return None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.arch",
+        description="Transport-readiness architecture audit (ARCHxxx).")
+    parser.add_argument(
+        "root", nargs="?", default=None,
+        help="package directory to audit (default: located from the "
+             "contract's root_package)")
+    parser.add_argument(
+        "--contract", default=None,
+        help="path to arch_contract.toml (default: search upward from "
+             "the audited root, then the working directory)")
+    parser.add_argument(
+        "--passes", default=",".join(PASS_NAMES),
+        help=f"comma-separated subset of {'/'.join(PASS_NAMES)} "
+             "(default: all)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable JSON report")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the ARCH rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_ARCH_RULES:
+            print(f"{rule.code}  {rule.title}")
+            print(f"    {rule.rationale}")
+        return 0
+
+    if args.contract is not None:
+        contract_path: Optional[Path] = Path(args.contract)
+    else:
+        start = Path(args.root) if args.root else Path.cwd()
+        contract_path = find_contract(start)
+    if contract_path is None:
+        print("error: no arch_contract.toml found (use --contract)",
+              file=sys.stderr)
+        return 2
+
+    try:
+        contract = load_contract(contract_path)
+    except ContractError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.root is not None:
+        root = Path(args.root)
+    else:
+        maybe_root = _default_root(contract_path, contract.root_package)
+        if maybe_root is None:
+            print(f"error: cannot locate package "
+                  f"{contract.root_package!r} near {contract_path}; pass "
+                  "the root explicitly", file=sys.stderr)
+            return 2
+        root = maybe_root
+    if not root.is_dir():
+        print(f"error: audit root {root} is not a directory",
+              file=sys.stderr)
+        return 2
+
+    passes = tuple(p.strip() for p in args.passes.split(",") if p.strip())
+    try:
+        report = run_audit(root, contract, passes=passes)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(report.to_json() if args.json else report.format_human())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Audit orchestrator: discover -> parse -> run the three passes -> filter.
+
+:func:`run_audit` is the single programmatic entry point used by the CLI,
+the CI job, and the tests.  It never imports the audited code — everything
+is AST-level — so it is safe to point at fixture trees containing
+deliberate violations.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.arch.callgraph import build_callgraph
+from repro.analysis.arch.contract import (
+    DEFAULT_CONTRACT_NAME, ArchContract, load_contract)
+from repro.analysis.arch.imports import build_graph, discover_modules
+from repro.analysis.arch.layers import check_layers
+from repro.analysis.arch.purity import check_purity
+from repro.analysis.arch.report import ArchFinding, ArchReport, filter_noqa
+from repro.analysis.arch.wire import check_wire
+
+__all__ = ["run_audit", "find_contract", "PASS_NAMES"]
+
+PASS_NAMES = ("layers", "purity", "wire")
+
+
+def find_contract(start: Path) -> Optional[Path]:
+    """Walk up from *start* looking for ``arch_contract.toml``."""
+    current = start if start.is_dir() else start.parent
+    current = current.resolve()
+    for candidate in [current, *current.parents]:
+        path = candidate / DEFAULT_CONTRACT_NAME
+        if path.is_file():
+            return path
+    return None
+
+
+def run_audit(root: Path, contract: ArchContract,
+              passes: Sequence[str] = PASS_NAMES) -> ArchReport:
+    """Audit the package tree rooted at *root* against *contract*.
+
+    *root* is the package directory itself (e.g. ``src/repro``); its dotted
+    name comes from the contract's ``root_package``.
+    """
+    unknown = set(passes) - set(PASS_NAMES)
+    if unknown:
+        raise ValueError(f"unknown pass(es): {sorted(unknown)}")
+    files = discover_modules(root, contract.root_package)
+    graph = build_graph(files)
+
+    findings: list = []
+    for path, msg in graph.parse_errors:
+        findings.append(ArchFinding(
+            file=str(path), line=1, code="ARCH000",
+            message=f"file could not be parsed: {msg}"))
+
+    if "layers" in passes:
+        findings.extend(check_layers(graph, contract))
+    if "purity" in passes:
+        callgraph = build_callgraph(graph)
+        findings.extend(check_purity(graph, callgraph, contract))
+    if "wire" in passes:
+        findings.extend(check_wire(graph, contract))
+
+    # several import edges (one per imported name) or call paths can land
+    # on the same (file, line, code, message) — report each defect once
+    unique: dict = {}
+    for finding in findings:
+        key = (finding.file, finding.line, finding.code, finding.message)
+        unique.setdefault(key, finding)
+
+    sources = {str(m.path): m.source for m in graph.modules.values()}
+    report = ArchReport(
+        findings=filter_noqa(list(unique.values()), sources),
+        modules_checked=len(graph.modules),
+        passes_run=tuple(p for p in PASS_NAMES if p in passes),
+    )
+    return report.sorted()

@@ -1,0 +1,120 @@
+"""Pass 2 — interprocedural sim-purity (ARCH101).
+
+BFS over the call graph from each contract-declared protocol entry point.
+If any reachable function directly uses a forbidden source (wall clock,
+global RNG, entropy, threading/asyncio, sockets, files, environment), one
+finding is emitted per (entry point, forbidden call site) with the full
+witness chain from the entry point to the offending line.
+
+Traversal does not descend *into* functions whose module matches a
+``boundary_modules`` prefix (the sanctioned kernel seams): the kernel is
+audited by its own tests, and protocol code is only responsible for what it
+reaches outside those seams.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.arch.callgraph import CallGraph, FunctionInfo
+from repro.analysis.arch.contract import ArchContract
+from repro.analysis.arch.imports import ModuleGraph
+from repro.analysis.arch.report import ArchFinding
+
+__all__ = ["check_purity"]
+
+
+def _match_entry_points(cg: CallGraph,
+                        patterns: Tuple[str, ...]) -> List[FunctionInfo]:
+    entries: List[FunctionInfo] = []
+    for key in sorted(cg.functions):
+        # keys look like "repro.datacenter.gear:Gear.update"
+        if any(fnmatch.fnmatchcase(key, pattern) for pattern in patterns):
+            entries.append(cg.functions[key])
+    return entries
+
+
+def _in_boundary(module: str, boundaries: Tuple[str, ...]) -> bool:
+    return any(module == b or module.startswith(b + ".")
+               for b in boundaries)
+
+
+def check_purity(graph: ModuleGraph, cg: CallGraph,
+                 contract: ArchContract) -> List[ArchFinding]:
+    entries = _match_entry_points(cg, contract.purity_entry_points)
+    boundaries = contract.purity_boundary_modules
+    findings: List[ArchFinding] = []
+    for entry in entries:
+        findings.extend(_audit_entry(graph, cg, entry, boundaries))
+    return findings
+
+
+def _audit_entry(graph: ModuleGraph, cg: CallGraph, entry: FunctionInfo,
+                 boundaries: Tuple[str, ...]) -> List[ArchFinding]:
+    # BFS with parent pointers so each finding carries a shortest witness
+    parent: Dict[str, Optional[Tuple[str, int]]] = {entry.key: None}
+    queue: List[str] = [entry.key]
+    findings: List[ArchFinding] = []
+    reported: set = set()
+    while queue:
+        key = queue.pop(0)
+        fn = cg.functions[key]
+        for use in fn.forbidden:
+            signature = (fn.key, use.line, use.dotted)
+            if signature in reported:
+                continue
+            reported.add(signature)
+            witness = _witness(graph, cg, parent, fn.key)
+            witness.append(
+                f"{_locate(graph, fn, use.line)} calls {use.dotted} "
+                f"[{use.reason}]")
+            entry_module = graph.modules.get(entry.module)
+            findings.append(ArchFinding(
+                file=str(entry_module.path) if entry_module else entry.module,
+                line=entry.line, code="ARCH101",
+                message=(
+                    f"protocol entry point {entry.key} transitively "
+                    f"reaches forbidden source {use.dotted} "
+                    f"({use.reason}) at "
+                    f"{_locate(graph, fn, use.line)}"),
+                witness=tuple(witness),
+            ))
+        for site in fn.calls:
+            callee = cg.functions.get(site.callee)
+            if callee is None or site.callee in parent:
+                continue
+            if _in_boundary(callee.module, boundaries):
+                continue
+            parent[site.callee] = (key, site.line)
+            queue.append(site.callee)
+    return findings
+
+
+def _witness(graph: ModuleGraph, cg: CallGraph,
+             parent: Dict[str, Optional[Tuple[str, int]]],
+             key: str) -> List[str]:
+    """Chain of "module:qualname (file:line)" from the entry to *key*."""
+    chain: List[Tuple[str, Optional[int]]] = []
+    cursor: Optional[str] = key
+    call_line: Optional[int] = None
+    while cursor is not None:
+        chain.append((cursor, call_line))
+        step = parent[cursor]
+        if step is None:
+            cursor = None
+        else:
+            cursor, call_line = step
+    chain.reverse()
+    out = []
+    for func_key, line in chain:
+        fn = cg.functions[func_key]
+        at = _locate(graph, fn, line if line is not None else fn.line)
+        out.append(f"{func_key} ({at})")
+    return out
+
+
+def _locate(graph: ModuleGraph, fn: FunctionInfo, line: int) -> str:
+    module = graph.modules.get(fn.module)
+    path = module.path if module else fn.module
+    return f"{path}:{line}"

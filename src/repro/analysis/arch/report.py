@@ -1,0 +1,121 @@
+"""Findings, noqa filtering, and the JSON/human report for the arch audit.
+
+Mirrors :mod:`repro.analysis.lint` so tooling that consumes SAT lint output
+can consume ARCH output unchanged, but adds an optional *witness*: the
+purity pass attaches the full call chain from entry point to forbidden
+source, and layer findings can attach the cycle path.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["ArchFinding", "ArchReport", "filter_noqa"]
+
+_NOQA_RE = re.compile(
+    r"#\s*noqa\b(?::\s*(?P<codes>[A-Z]{3,4}\d{3}"
+    r"(?:\s*,\s*[A-Z]{3,4}\d{3})*))?",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class ArchFinding:
+    """One architecture violation, optionally with a witness path."""
+
+    file: str
+    line: int
+    code: str
+    message: str
+    witness: Tuple[str, ...] = ()
+
+    def format(self) -> str:
+        head = f"{self.file}:{self.line} {self.code} {self.message}"
+        if not self.witness:
+            return head
+        chain = "\n".join(f"    {'-> ' if i else '   '}{step}"
+                          for i, step in enumerate(self.witness))
+        return f"{head}\n  witness:\n{chain}"
+
+
+@dataclass
+class ArchReport:
+    """Aggregate audit result across all passes."""
+
+    findings: List[ArchFinding] = field(default_factory=list)
+    modules_checked: int = 0
+    passes_run: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def sorted(self) -> "ArchReport":
+        self.findings.sort(key=lambda f: (f.file, f.line, f.code, f.message))
+        return self
+
+    def format_human(self) -> str:
+        lines = [finding.format() for finding in self.findings]
+        noun = "module" if self.modules_checked == 1 else "modules"
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.modules_checked} "
+            f"{noun} ({', '.join(self.passes_run)})")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "ok": self.ok,
+            "modules_checked": self.modules_checked,
+            "passes": list(self.passes_run),
+            "findings": [
+                {"file": f.file, "line": f.line, "code": f.code,
+                 "message": f.message, "witness": list(f.witness)}
+                for f in self.findings
+            ],
+        }, indent=2)
+
+
+def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """line -> None (suppress all) or the set of suppressed codes."""
+    table: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            table[lineno] = None
+        else:
+            table[lineno] = {c.strip().upper() for c in codes.split(",")}
+    return table
+
+
+def filter_noqa(findings: Sequence[ArchFinding],
+                sources: Dict[str, str]) -> List[ArchFinding]:
+    """Drop findings suppressed by a ``# noqa`` / ``# noqa: ARCHxxx`` on
+    their line.  *sources* maps file path -> source text; files not in the
+    map are read lazily (and treated as unsuppressable if unreadable)."""
+    tables: Dict[str, Dict[int, Optional[Set[str]]]] = {}
+    kept: List[ArchFinding] = []
+    for finding in findings:
+        table = tables.get(finding.file)
+        if table is None:
+            source = sources.get(finding.file)
+            if source is None:
+                try:
+                    source = Path(finding.file).read_text(encoding="utf-8")
+                except OSError:
+                    source = ""
+            table = _suppressions(source)
+            tables[finding.file] = table
+        suppressed = table.get(finding.line, ...)
+        if suppressed is None:
+            continue
+        if suppressed is not ... and finding.code in suppressed:
+            continue
+        kept.append(finding)
+    return kept

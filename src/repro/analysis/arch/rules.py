@@ -1,0 +1,141 @@
+"""Catalogue of the architecture-audit rules (ARCHxxx).
+
+The auditor (:mod:`repro.analysis.arch`) is the static gate for ROADMAP
+item 1 — refactoring message passing behind a ``Transport`` interface so the
+same protocol code runs on the deterministic sim kernel or on asyncio TCP
+across real processes.  Each rule names one way the tree can silently grow a
+dependency that would make that refactor unsound:
+
+* the 0xx rules police the *layer contract* (who may import whom, and which
+  kernel seams protocol code may touch);
+* the 1xx rules police *sim-purity* (no protocol entry point may transitively
+  reach a nondeterministic or environment-coupled source);
+* the 2xx rules police *wire-safety* (every message is plain data with a
+  registered handler, so payloads survive real serialization).
+
+Codes follow the SATxxx convention: suppress a deliberate exception with
+``# noqa: ARCH001`` on the offending line.  The detection logic lives in the
+sibling pass modules; this module only defines codes and rationale so
+reports, suppressions, and docs stay in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["ArchRule", "ALL_ARCH_RULES", "ARCH_RULES_BY_CODE"]
+
+
+@dataclass(frozen=True)
+class ArchRule:
+    """One architecture rule: a stable code plus human-facing explanation."""
+
+    code: str
+    title: str
+    rationale: str
+
+
+ALL_ARCH_RULES: Tuple[ArchRule, ...] = (
+    ArchRule(
+        code="ARCH001",
+        title="layer-contract violation (upward import)",
+        rationale=(
+            "arch_contract.toml orders the layers (sim kernel <- core "
+            "protocol <- datacenter <- services <- tools); a module may "
+            "import its own layer or lower ones.  An upward import couples "
+            "protocol code to machinery above it and blocks moving the "
+            "lower layer behind the Transport interface."
+        ),
+    ),
+    ArchRule(
+        code="ARCH002",
+        title="module import cycle",
+        rationale=(
+            "A cycle in the runtime import graph means no participating "
+            "module can be extracted, tested, or deployed without the "
+            "others; deferred (function-scope) imports are the sanctioned "
+            "way to break one and are excluded from the check."
+        ),
+    ),
+    ArchRule(
+        code="ARCH003",
+        title="unsanctioned sim-kernel import from protocol code",
+        rationale=(
+            "Protocol layers may touch the kernel only through the "
+            "sanctioned seams listed in arch_contract.toml (the Process "
+            "actor API, PhysicalClock, Network.send, the CPU cost model, "
+            "and the Simulator handle).  Anything else — Event internals, "
+            "RngRegistry, heap state — is kernel-private and will not "
+            "exist under a real transport."
+        ),
+    ),
+    ArchRule(
+        code="ARCH004",
+        title="kernel-scheduler bypass in protocol code",
+        rationale=(
+            "Protocol code must create timers via Process.set_timer / "
+            "Process.every (relative delays a Transport can implement); "
+            "calling sim.schedule / sim.schedule_at directly binds the "
+            "code to the discrete-event kernel's absolute clock."
+        ),
+    ),
+    ArchRule(
+        code="ARCH101",
+        title="protocol entry point reaches a forbidden source",
+        rationale=(
+            "A serializer/sink/proxy/gear handler transitively calls a "
+            "wall clock, the global RNG, threading/asyncio primitives, "
+            "entropy, file/socket I/O, or the process environment.  Such "
+            "a path makes the execution depend on the host instead of the "
+            "simulated schedule; the finding reports the full call chain "
+            "from entry point to the forbidden call site."
+        ),
+    ),
+    ArchRule(
+        code="ARCH201",
+        title="constructed message type has no registered handler",
+        rationale=(
+            "Every message type that is constructed somewhere must appear "
+            "in an isinstance dispatch of some receive handler; an "
+            "unhandled message either crashes the defensive TypeError arm "
+            "or is dropped silently, and a real transport cannot route it."
+        ),
+    ),
+    ArchRule(
+        code="ARCH202",
+        title="handler accesses a field the message does not define",
+        rationale=(
+            "Inside an isinstance(message, T) branch, every attribute read "
+            "on the message must be a field (or method/property) of T; a "
+            "typo here only explodes when that branch executes, which for "
+            "rare messages can be deep into a long run."
+        ),
+    ),
+    ArchRule(
+        code="ARCH203",
+        title="message field is not plain data",
+        rationale=(
+            "Message payloads must be built from None/bool/int/float/str/"
+            "bytes, enums, tuples/frozensets of plain data, and frozen "
+            "plain dataclasses.  object/Any annotations, mutable "
+            "containers (list/dict/set), callables, and sim objects "
+            "cannot survive real serialization — and a mutable field "
+            "shipped by reference aliases state across processes, which "
+            "the in-process simulator hides."
+        ),
+    ),
+    ArchRule(
+        code="ARCH204",
+        title="message constructed with unknown or excess arguments",
+        rationale=(
+            "A construction site passing a keyword that is not a field, or "
+            "more positional arguments than the dataclass defines, raises "
+            "only when that code path runs; the audit catches it tree-wide "
+            "at review time."
+        ),
+    ),
+)
+
+ARCH_RULES_BY_CODE: Dict[str, ArchRule] = {
+    rule.code: rule for rule in ALL_ARCH_RULES}

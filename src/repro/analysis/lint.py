@@ -1,4 +1,4 @@
-"""AST lint enforcing the simulator's determinism contract (SAT001–SAT006).
+"""AST lint enforcing the simulator's determinism contract (SAT001–SAT008).
 
 The checks are deliberately repository-specific: they know that simulation
 code must read time from the simulated clock, draw randomness from
@@ -85,8 +85,24 @@ _TIEBREAK_NAME_RE = re.compile(
     r"order|pos|position|name|uid)(?:_|$)"
 )
 
+#: wire-message heuristics for SAT008: any dataclass in a module with one
+#: of these filenames, or whose class name carries one of these suffixes
+_MESSAGE_MODULE_FILENAMES = {"messages.py"}
+_MESSAGE_CLASS_SUFFIXES = ("Payload", "Msg")
+
+#: annotation identifiers that disqualify a field as wire plain data
+#: (SAT008): mutable containers, escape-hatch types, callables
+_NON_PLAIN_ANNOTATION_NAMES = {
+    "list", "dict", "set", "List", "Dict", "Set", "DefaultDict",
+    "defaultdict", "OrderedDict", "Counter", "Deque", "deque", "bytearray",
+    "MutableMapping", "MutableSequence", "MutableSet",
+    "object", "Any", "Callable", "callable",
+}
+
+# four-letter codes (ARCHxxx, from repro.analysis.arch) share the noqa
+# syntax, so the regex must not split them into a bogus 3-letter match
 _NOQA_RE = re.compile(
-    r"#\s*noqa\b(?::\s*(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*))?",
+    r"#\s*noqa\b(?::\s*(?P<codes>[A-Z]{3,4}\d{3}(?:\s*,\s*[A-Z]{3,4}\d{3})*))?",
     re.IGNORECASE,
 )
 
@@ -173,7 +189,7 @@ def _is_float_constant(node: ast.expr) -> bool:
 
 
 class _Visitor(ast.NodeVisitor):
-    """Single-pass collector for all six rules."""
+    """Single-pass collector for all the rules."""
 
     def __init__(self, filename: str) -> None:
         self.filename = filename
@@ -413,9 +429,80 @@ class _Visitor(ast.NodeVisitor):
             known & set(class_bases))
 
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._check_wire_message_class(node)
         self._class_stack.append(node.name)
         self.generic_visit(node)
         self._class_stack.pop()
+
+    # -- SAT008: wire message dataclasses ----------------------------------
+
+    def _is_wire_message(self, node: ast.ClassDef) -> bool:
+        if Path(self.filename).name in _MESSAGE_MODULE_FILENAMES:
+            return True
+        return node.name.endswith(_MESSAGE_CLASS_SUFFIXES)
+
+    @staticmethod
+    def _dataclass_keywords(node: ast.ClassDef) -> Optional[Dict[str, bool]]:
+        """``{keyword: value}`` of the @dataclass decorator, or None."""
+        for deco in node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            if _terminal_name(target) != "dataclass":
+                continue
+            keywords: Dict[str, bool] = {}
+            if isinstance(deco, ast.Call):
+                for kw in deco.keywords:
+                    if kw.arg and isinstance(kw.value, ast.Constant):
+                        keywords[kw.arg] = bool(kw.value.value)
+            return keywords
+        return None
+
+    def _non_plain_annotation_name(self,
+                                   annotation: ast.expr) -> Optional[str]:
+        if (isinstance(annotation, ast.Constant)
+                and isinstance(annotation.value, str)):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return None
+        for sub in ast.walk(annotation):
+            name = None
+            if isinstance(sub, ast.Name):
+                name = sub.id
+            elif isinstance(sub, ast.Attribute):
+                name = sub.attr
+            if name in _NON_PLAIN_ANNOTATION_NAMES:
+                return name
+        return None
+
+    def _check_wire_message_class(self, node: ast.ClassDef) -> None:
+        if not self._is_wire_message(node):
+            return
+        keywords = self._dataclass_keywords(node)
+        if keywords is None:
+            return  # not a dataclass: plain classes are out of scope
+        if not keywords.get("frozen", False):
+            self._report(node, "SAT008",
+                         f"message dataclass {node.name} is mutable; "
+                         "declare @dataclass(frozen=True, slots=True)")
+        has_slots = keywords.get("slots", False) or any(
+            isinstance(stmt, ast.Assign)
+            and any(isinstance(t, ast.Name) and t.id == "__slots__"
+                    for t in stmt.targets)
+            for stmt in node.body)
+        if not has_slots:
+            self._report(node, "SAT008",
+                         f"message dataclass {node.name} has no __slots__; "
+                         "pass slots=True so instances cannot grow ad-hoc "
+                         "(unserializable) attributes")
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign) or stmt.annotation is None:
+                continue
+            bad = self._non_plain_annotation_name(stmt.annotation)
+            if bad is not None:
+                self._report(stmt, "SAT008",
+                             f"message field annotation mentions {bad!r}, "
+                             "which is not wire-safe plain data; use "
+                             "scalars, tuples, frozensets or value types")
 
     def _enter_function(self, node) -> bool:
         """Returns True if this function is an actor method to track."""

@@ -274,8 +274,11 @@ def _build_chain3(name: str, horizon: float,
     if reconfigure_at is not None or auto_failover or fault_plan is not None:
         manager = ReconfigurationManager(service, list(datacenters.values()))
     if reconfigure_at is not None:
-        manager.schedule_reconfiguration(sim, reconfigure_at, c2,
-                                         emergency=emergency)
+        # scripted epoch change: the harness (not protocol code) owns the
+        # absolute-time schedule, so drive the manager from the kernel here
+        sim.schedule_at(
+            reconfigure_at,
+            lambda m=manager: m.reconfigure(c2, emergency=emergency))
         delay_links.update(_tree_links(c2, epoch=1))
     failover: Optional[AutoFailover] = None
     if auto_failover:

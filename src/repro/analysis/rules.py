@@ -97,6 +97,19 @@ ALL_RULES: Tuple[Rule, ...] = (
             "another total, deterministic key (e.g. a label's src)."
         ),
     ),
+    Rule(
+        code="SAT008",
+        title="wire message dataclass is not frozen, slotted plain data",
+        rationale=(
+            "Message dataclasses (modules named messages.py, or classes "
+            "named *Payload / *Msg) cross process boundaries once the "
+            "Transport refactor lands: they must be @dataclass(frozen=True) "
+            "with __slots__ (slots=True or an explicit __slots__) and carry "
+            "only plain-data field annotations — no list/dict/set, object, "
+            "Any or Callable — so a payload can be serialized byte-for-byte "
+            "and can never alias mutable state between sender and receiver."
+        ),
+    ),
 )
 
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

@@ -15,11 +15,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from repro.core.label import Label, LabelType
 from repro.core.replication import ReplicationMap
-from repro.datacenter.datacenter import dc_process_name
+from repro.core.naming import dc_process_name
 from repro.datacenter.messages import (AttachOk, ClientAttach, ClientMigrate,
                                        ClientRead, ClientUpdate, MigrateReply,
                                        ReadReply, StabilizationMsg, UpdateReply)
@@ -29,10 +29,15 @@ from repro.sim.cpu import CostModel
 from repro.sim.engine import Simulator
 from repro.sim.process import Process
 
-__all__ = ["StabilizedDatacenter", "BaselinePayload"]
+__all__ = ["StabilizedDatacenter", "BaselinePayload", "BaselineStamp"]
+
+#: Dependency metadata carried on the wire: GentleRain ships a scalar
+#: timestamp, Cure a sorted ``(dc, ts)`` tuple vector.  Plain immutable
+#: data only — the stamp is shared between sender and receivers.
+BaselineStamp = Union[float, Tuple[Tuple[str, float], ...]]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BaselinePayload:
     """Replicated update for the stabilization-based systems."""
 
@@ -40,7 +45,7 @@ class BaselinePayload:
     key: str
     value_size: int
     created_at: float
-    stamp: object           # scalar (GentleRain) or vector (Cure) dependency
+    stamp: BaselineStamp    # scalar (GentleRain) or vector (Cure) dependency
 
 
 class StabilizedDatacenter(Process):
@@ -71,8 +76,10 @@ class StabilizedDatacenter(Process):
         self._dispatched_ts: Dict[str, float] = {}
         #: in-order visibility pipeline (apply in parallel, reveal in order)
         self._pipeline: Deque[List] = deque()
-        #: latest stabilization value received per remote datacenter
-        self._remote_info: Dict[str, object] = {}
+        #: latest stabilization scalar received per remote datacenter (both
+        #: baselines broadcast their local clock floor; Cure's stable
+        #: *vector* is assembled receiver-side from these per-origin entries)
+        self._remote_info: Dict[str, float] = {}
         self._waiters: List[Tuple[object, callable]] = []
         self._update_seq = 0
         self.updates_applied = 0

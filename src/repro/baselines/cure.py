@@ -13,15 +13,25 @@ which shows up as the large throughput penalty of Fig. 5.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.baselines.base import BaselinePayload, StabilizedDatacenter
 from repro.core.label import Label
 from repro.datacenter.storage import StoredValue
 
-__all__ = ["CureDatacenter", "cure_merge"]
+__all__ = ["CureDatacenter", "Vector", "cure_merge", "freeze_vector"]
 
-Vector = Dict[str, float]
+#: Wire form of a dependency vector: ``(dc, ts)`` pairs sorted by datacenter
+#: name.  Plain immutable data — a payload's stamp is shared between the
+#: sender's store, the wire, and every receiver's ``_key_vectors``, so a
+#: mutable mapping here would let one datacenter silently rewrite another's
+#: dependency metadata (and could never be serialized as-is).
+Vector = Tuple[Tuple[str, float], ...]
+
+
+def freeze_vector(entries: Mapping[str, float]) -> Vector:
+    """Canonical wire form of a ``{dc: ts}`` mapping."""
+    return tuple(sorted(entries.items()))
 
 
 def cure_merge(a: Optional[Vector], b: Optional[Vector]) -> Optional[Vector]:
@@ -31,10 +41,10 @@ def cure_merge(a: Optional[Vector], b: Optional[Vector]) -> Optional[Vector]:
     if b is None:
         return a
     merged = dict(a)
-    for dc, ts in b.items():
+    for dc, ts in b:
         if ts > merged.get(dc, float("-inf")):
             merged[dc] = ts
-    return merged
+    return freeze_vector(merged)
 
 
 class CureDatacenter(StabilizedDatacenter):
@@ -60,24 +70,24 @@ class CureDatacenter(StabilizedDatacenter):
         return self.clock.timestamp()
 
     def is_stable(self, stamp: Vector) -> bool:
-        return all(self.stable_entry(dc) >= ts for dc, ts in stamp.items())
+        return all(self.stable_entry(dc) >= ts for dc, ts in stamp)
 
     def make_update_stamp(self, client_stamp: Optional[Vector],
                           ts: float) -> Vector:
         stamp = dict(client_stamp) if client_stamp else {}
         stamp[self.dc_name] = ts
-        return stamp
+        return freeze_vector(stamp)
 
     def read_stamp(self, key: str, stored: StoredValue) -> Vector:
         vector = self._key_vectors.get(key)
         if vector is None:
-            return {stored.label.origin_dc: stored.label.ts}
+            return ((stored.label.origin_dc, stored.label.ts),)
         return vector
 
     def _stamp_floor(self, client_stamp: Optional[Vector]) -> Optional[float]:
         if not client_stamp:
             return None
-        return client_stamp.get(self.dc_name)
+        return dict(client_stamp).get(self.dc_name)
 
     def _store_update(self, key: str, label: Label, value_size: int,
                       stamp: Vector) -> None:
@@ -94,7 +104,7 @@ class CureDatacenter(StabilizedDatacenter):
         read this update before its dependency surfaces."""
         origin = payload.label.origin_dc
         deps: Vector = payload.stamp
-        for dc, ts in deps.items():
+        for dc, ts in deps:
             if dc == self.dc_name:
                 continue  # local updates are already visible
             if self.stable_entry(dc) < ts:

@@ -32,7 +32,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.label import Label, LabelType
 from repro.core.replication import ReplicationMap
-from repro.datacenter.datacenter import dc_process_name
+from repro.core.naming import dc_process_name
 from repro.datacenter.messages import (AttachOk, ClientAttach, ClientMigrate,
                                        ClientRead, ClientUpdate, MigrateReply,
                                        ReadReply, UpdateReply)
@@ -49,7 +49,7 @@ Version = Tuple[float, str]
 Dependency = Tuple[str, Version]  # (key, version)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DepContext:
     """A client's causal context: explicit dependencies.
 
@@ -75,7 +75,7 @@ def explicit_merge(a: Optional[DepContext],
     return DepContext(deps=a.deps | b.deps, replace=False)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExplicitPayload:
     """Replicated update carrying its explicit dependency list."""
 

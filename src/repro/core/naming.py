@@ -1,0 +1,19 @@
+"""Process-naming scheme shared across the protocol layers.
+
+Process names are the addressing scheme of the simulated network — and of
+the future ``Transport`` interface (ROADMAP item 1), where they become real
+endpoint addresses.  They are protocol vocabulary, not datacenter
+machinery: serializers (core) need to address datacenters, datacenters and
+baselines need to address each other, and clients need to address their
+home datacenter.  Keeping the scheme here lets all of them agree on it
+without anyone importing upward.
+"""
+
+from __future__ import annotations
+
+__all__ = ["dc_process_name"]
+
+
+def dc_process_name(dc_name: str) -> str:
+    """Network process name of the datacenter called *dc_name*."""
+    return f"dc:{dc_name}"

@@ -15,11 +15,13 @@ Saturn:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from repro.core.service import SaturnService
 from repro.core.tree import TreeTopology
-from repro.datacenter.datacenter import SaturnDatacenter
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only upward reference
+    from repro.datacenter.datacenter import SaturnDatacenter
 
 __all__ = ["ReconfigurationManager"]
 
@@ -53,17 +55,6 @@ class ReconfigurationManager:
         self.service.current_epoch = epoch
         self.last_epoch = epoch
         return epoch
-
-    def schedule_reconfiguration(self, sim, at: float,
-                                 new_topology: TreeTopology,
-                                 emergency: bool = False) -> None:
-        """Arrange for :meth:`reconfigure` to fire at simulated time *at*.
-
-        Convenience for scripted scenarios (tests, the model checker): the
-        switch happens mid-run, with labels in flight, which is the case
-        §6.2 is about."""
-        sim.schedule_at(at, lambda: self.reconfigure(new_topology,
-                                                     emergency=emergency))
 
     def complete(self) -> bool:
         """True once every datacenter has adopted the new epoch."""

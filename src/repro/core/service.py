@@ -10,10 +10,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.naming import dc_process_name
 from repro.core.replication import ReplicationMap
 from repro.core.serializer import Serializer
 from repro.core.tree import TreeTopology
-from repro.datacenter.datacenter import dc_process_name
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.core.label import label_max
-from repro.datacenter.datacenter import dc_process_name
+from repro.core.naming import dc_process_name
 from repro.datacenter.messages import (AttachOk, ClientAttach, ClientMigrate,
                                        ClientRead, ClientUpdate, MigrateReply,
                                        ReadReply, UpdateReply)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.core.label import Label, LabelType
+from repro.core.naming import dc_process_name
 from repro.core.replication import ReplicationMap
 from repro.datacenter.frontend import Frontend
 from repro.datacenter.gear import Gear
@@ -41,12 +42,9 @@ from repro.sim.process import Process
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.service import SaturnService
 
+# dc_process_name moved to repro.core.naming (the serializer needs it and
+# core must not import upward); re-exported here for compatibility.
 __all__ = ["DatacenterParams", "SaturnDatacenter", "dc_process_name"]
-
-
-def dc_process_name(dc_name: str) -> str:
-    """Network process name of a datacenter."""
-    return f"dc:{dc_name}"
 
 
 @dataclass

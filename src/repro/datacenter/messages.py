@@ -3,12 +3,18 @@
 These are small frozen dataclasses: the simulator passes them by reference,
 and ``payload_size`` fields let the network account for bytes without
 materializing actual values.
+
+Everything here is **wire-safe plain data** (see ``arch_contract.toml`` and
+the ARCH2xx audit rules): frozen, slotted, and composed only of scalars,
+tuples, and the :class:`~repro.core.label.Label` value type, so a message
+can be serialized byte-for-byte once a real transport replaces the
+simulated network.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
 
 from repro.core.label import Label
 
@@ -16,74 +22,84 @@ __all__ = [
     "ClientAttach", "ClientRead", "ClientUpdate", "ClientMigrate",
     "AttachOk", "ReadReply", "UpdateReply", "MigrateReply",
     "RemotePayload", "BulkHeartbeat", "LabelBatch", "StabilizationMsg",
-    "Ping", "Pong", "SerializerBeacon",
+    "Ping", "Pong", "SerializerBeacon", "Stamp",
 ]
+
+#: A client's causal past as carried on the wire.  The concrete shape is
+#: system-specific: Saturn ships its greatest :class:`Label`, GentleRain a
+#: scalar timestamp, Cure a sorted ``(dc, ts)`` tuple vector.  The
+#: explicit-dependency baseline extends this union with its own frozen
+#: plain-data ``DepContext`` (repro.baselines.explicit) — core cannot name
+#: it here without importing upward, but it obeys the same wire rules.
+Stamp = Union[None, Label, float, Tuple[Tuple[str, float], ...]]
 
 
 # -- client -> datacenter ----------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientAttach:
     client_id: str
-    label: Optional[Label]
+    label: Stamp
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientRead:
     client_id: str
     key: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientUpdate:
     client_id: str
     key: str
     value_size: int
-    label: Optional[Label]
+    label: Stamp
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientMigrate:
     client_id: str
     target_dc: str
-    label: Optional[Label]
+    label: Stamp
 
 
 # -- datacenter -> client ----------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AttachOk:
     client_id: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadReply:
     client_id: str
     key: str
-    label: Optional[Label]
+    label: Stamp
     value_size: int
     #: (ts, src) identity of the returned version (for the offline checker)
     version: Optional[Tuple[float, str]] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UpdateReply:
     client_id: str
     key: str
-    label: Label
+    label: Stamp
     #: (ts, src) identity of the written version (for the offline checker)
     version: Optional[Tuple[float, str]] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MigrateReply:
     client_id: str
-    label: Label
+    #: migration label in Saturn; None in the stabilization baselines,
+    #: which re-attach at the target with the client's current stamp
+    label: Stamp
 
 
 # -- datacenter <-> datacenter (bulk-data transfer) ---------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RemotePayload:
     """An update's payload shipped by the bulk-data transfer service.
 
@@ -98,7 +114,7 @@ class RemotePayload:
     created_at: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BulkHeartbeat:
     """Periodic per-origin timestamp announcement on the bulk channel.
 
@@ -111,7 +127,7 @@ class BulkHeartbeat:
 
 # -- datacenter <-> Saturn ----------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LabelBatch:
     """A causally ordered batch of labels travelling through Saturn."""
 
@@ -126,29 +142,33 @@ class LabelBatch:
 
 # -- stabilization (GentleRain / Cure baselines) -------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StabilizationMsg:
-    """Periodic metadata exchange between stabilization managers."""
+    """Periodic metadata exchange between stabilization managers.
+
+    Both baselines broadcast a scalar — the origin's local clock floor
+    (partition LST).  Cure's stable *vector* is never shipped: receivers
+    assemble it from these per-origin scalars (see
+    ``StabilizedDatacenter._remote_info``)."""
 
     origin_dc: str
-    #: scalar LST for GentleRain, tuple vector for Cure
-    value: object = None
+    value: Optional[float] = None
 
 
 # -- liveness probes (Saturn outage detection) ---------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Ping:
     seq: int
     origin: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Pong:
     seq: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SerializerBeacon:
     """Periodic liveness beacon from a serializer to its attached sinks.
 

@@ -10,6 +10,7 @@ Installed as the ``saturn-repro`` console script::
     saturn-repro mc --scenario chain3      # schedule-space model checking
     saturn-repro faults --list             # scripted chaos scenarios
     saturn-repro obs --pair T S            # per-edge visibility breakdown
+    saturn-repro arch                      # architecture audit (ARCHxxx)
 """
 
 from __future__ import annotations
@@ -96,6 +97,14 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("obs_args", nargs=argparse.REMAINDER,
                      help="arguments forwarded to python -m repro.obs")
 
+    arch = sub.add_parser(
+        "arch", help="transport-readiness architecture audit "
+                     "(repro.analysis.arch)",
+        add_help=False)
+    arch.add_argument("arch_args", nargs=argparse.REMAINDER,
+                      help="arguments forwarded to "
+                           "python -m repro.analysis.arch")
+
     return parser
 
 
@@ -143,6 +152,9 @@ def main(argv: Optional[list] = None) -> int:
     if argv and argv[0] == "obs":
         from repro.obs.__main__ import main as obs_main
         return obs_main(list(argv[1:]))
+    if argv and argv[0] == "arch":
+        from repro.analysis.arch.__main__ import main as arch_main
+        return arch_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
 
     if args.command == "list":

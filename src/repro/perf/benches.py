@@ -27,7 +27,7 @@ from repro.core.label import Label, LabelType
 from repro.core.replication import ReplicationMap
 from repro.core.service import SaturnService
 from repro.core.tree import TreeTopology
-from repro.datacenter.datacenter import dc_process_name
+from repro.core.naming import dc_process_name
 from repro.datacenter.messages import LabelBatch
 from repro.perf.measure import best_rate, wall_clock
 from repro.sim.engine import Simulator

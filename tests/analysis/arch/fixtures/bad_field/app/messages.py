@@ -1,0 +1,11 @@
+"""Wire vocabulary with one unserializable payload field."""
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class StateMsg:
+    origin: str
+    ts: float
+    entries: Dict[str, float]  # shared-mutable reference: not wire-safe

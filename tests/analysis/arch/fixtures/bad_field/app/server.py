@@ -1,0 +1,9 @@
+"""Handles StateMsg; never constructs it (the defect is the field)."""
+
+from app.messages import StateMsg
+
+
+class Server:
+    def receive(self, sender: str, message) -> None:
+        if isinstance(message, StateMsg):
+            self.entries = message.entries

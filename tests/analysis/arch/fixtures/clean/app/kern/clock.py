@@ -1,0 +1,9 @@
+"""Sanctioned kernel seam: the simulated clock."""
+
+
+class SimClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def timestamp(self) -> float:
+        return self.now

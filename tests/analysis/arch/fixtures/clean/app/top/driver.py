@@ -1,0 +1,17 @@
+"""Harness layer: may reach down into everything, including the kernel."""
+
+import random
+
+from app.core.messages import UpdateMsg
+from app.core.server import Server
+from app.kern.clock import SimClock
+
+
+def drive(steps: int) -> Server:
+    clock = SimClock()
+    server = Server(clock)
+    rng = random.Random(7)
+    for step in range(steps):
+        clock.now += rng.random()
+        server.receive("driver", UpdateMsg(key=f"k{step}", ts=clock.now))
+    return server

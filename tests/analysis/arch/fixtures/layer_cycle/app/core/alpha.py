@@ -1,0 +1,7 @@
+"""One half of a deliberate import cycle (ARCH002)."""
+
+from app.core.beta import bump
+
+
+def tick(x: int) -> int:
+    return bump(x) + 1

@@ -1,0 +1,9 @@
+"""The other half of the deliberate import cycle (ARCH002)."""
+
+from app.core.alpha import tick
+
+
+def bump(x: int) -> int:
+    if x > 10:
+        return tick(0)
+    return x + 1

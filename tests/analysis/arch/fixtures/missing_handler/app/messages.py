@@ -1,0 +1,13 @@
+"""Wire vocabulary of the fixture app."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PingMsg:
+    seq: int
+
+
+@dataclass(frozen=True)
+class PongMsg:
+    seq: int

@@ -1,0 +1,12 @@
+"""Constructs PingMsg; the handler only dispatches PongMsg."""
+
+from app.messages import PingMsg, PongMsg
+
+
+class Server:
+    def probe(self, send) -> None:
+        send(PingMsg(seq=1))
+
+    def receive(self, sender: str, message) -> None:
+        if isinstance(message, PongMsg):
+            self.last_seq = message.seq

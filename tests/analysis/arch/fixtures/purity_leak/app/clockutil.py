@@ -1,0 +1,7 @@
+"""Hop 3: the leak — a wall-clock read hidden two calls deep."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -1,0 +1,8 @@
+"""Protocol entry point whose handler is pure... on the surface."""
+
+from app.store import apply_update
+
+
+class Server:
+    def receive(self, sender: str, message) -> None:
+        apply_update(message)

@@ -1,0 +1,7 @@
+"""Hop 2: storage helper that defers stamping to the clock module."""
+
+from app.clockutil import stamp
+
+
+def apply_update(message) -> float:
+    return stamp()

@@ -1,0 +1,38 @@
+"""Known-bad fixture: wire message dataclasses that are not frozen,
+slotted plain data (SAT008)."""
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class MutablePayload:        # not frozen, no slots
+    key: str
+    value_size: int
+
+
+@dataclass(frozen=True)
+class UnslottedMsg:          # frozen but instances can grow attributes
+    origin_dc: str
+    ts: float
+
+
+@dataclass(frozen=True, slots=True)
+class SharedStatePayload:
+    key: str
+    deps: Dict[str, float]   # mutable container aliases sender state
+    tags: List[str]          # same
+    blob: Any                # escape hatch defeats the wire contract
+    stamp: object            # same
+
+
+@dataclass(frozen=True, slots=True)
+class CleanMsg:              # conforming: must produce no finding
+    origin_dc: str
+    ts: float
+    version: Optional[float] = None
+
+
+class NotADataclassPayload:  # out of scope: plain class
+    def __init__(self) -> None:
+        self.cache = {}

@@ -27,7 +27,7 @@ def codes_in(findings):
 def test_rule_catalogue_is_complete():
     assert [rule.code for rule in ALL_RULES] == [
         "SAT001", "SAT002", "SAT003", "SAT004", "SAT005", "SAT006",
-        "SAT007"]
+        "SAT007", "SAT008"]
     for rule in ALL_RULES:
         assert rule.title and rule.rationale
 
@@ -80,6 +80,26 @@ def test_sat007_inline_variants():
         "import heapq\nheapq.heappush(h, (t, self._seq, event))\n") == []
     assert lint_source(
         "import heapq\nheapq.heappush(h, (label.ts, label.src))\n") == []
+
+
+def test_bad_sat008_flags_each_defect_and_spares_conforming_class():
+    report = lint_paths([FIXTURES / "bad_sat008.py"])
+    sat008 = [f for f in report.findings if f.code == "SAT008"]
+    # not-frozen + no-slots, no-slots, and four non-plain annotations;
+    # CleanMsg and the non-dataclass contribute nothing
+    assert len(sat008) == 7
+    assert not any("CleanMsg" in f.message for f in sat008)
+
+
+def test_sat008_only_applies_to_wire_message_classes():
+    # same defects, but neither a messages.py module nor a *Payload/*Msg
+    # class name: out of scope
+    source = ("from dataclasses import dataclass\n"
+              "@dataclass\n"
+              "class Config:\n"
+              "    values: dict\n")
+    assert lint_source(source, filename="config.py") == []
+    assert codes_in(lint_source(source, filename="messages.py")) == {"SAT008"}
 
 
 def test_clean_fixture_has_no_findings():

@@ -1,9 +1,11 @@
 """Cure baseline: vector stamps and per-origin stability."""
 
+import dataclasses
+
 import pytest
 
 from repro.baselines.base import BaselinePayload
-from repro.baselines.cure import CureDatacenter, cure_merge
+from repro.baselines.cure import CureDatacenter, cure_merge, freeze_vector
 from repro.core.label import Label, LabelType
 from repro.core.replication import ReplicationMap
 from repro.harness.runner import MetricsHub
@@ -41,21 +43,48 @@ def payload(ts, origin="I", key="k", deps=None):
     stamp = dict(deps or {})
     stamp[origin] = ts
     return BaselinePayload(label=label, key=key, value_size=8,
-                           created_at=ts, stamp=stamp)
+                           created_at=ts, stamp=freeze_vector(stamp))
 
 
 def test_merge_vectors():
-    assert cure_merge(None, {"I": 1.0}) == {"I": 1.0}
-    assert cure_merge({"I": 1.0}, None) == {"I": 1.0}
-    merged = cure_merge({"I": 1.0, "F": 5.0}, {"I": 3.0, "T": 2.0})
-    assert merged == {"I": 3.0, "F": 5.0, "T": 2.0}
+    v_i = freeze_vector({"I": 1.0})
+    assert cure_merge(None, v_i) == v_i
+    assert cure_merge(v_i, None) == v_i
+    merged = cure_merge(freeze_vector({"I": 1.0, "F": 5.0}),
+                        freeze_vector({"I": 3.0, "T": 2.0}))
+    assert dict(merged) == {"I": 3.0, "F": 5.0, "T": 2.0}
 
 
-def test_merge_does_not_mutate_inputs():
-    a = {"I": 1.0}
-    b = {"I": 2.0}
-    cure_merge(a, b)
-    assert a == {"I": 1.0} and b == {"I": 2.0}
+def test_merge_result_is_canonical():
+    # Same entries, same wire form — regardless of merge order.
+    a = freeze_vector({"T": 2.0, "I": 1.0})
+    b = freeze_vector({"F": 5.0})
+    assert cure_merge(a, b) == cure_merge(b, a)
+    assert cure_merge(a, b) == freeze_vector({"I": 1.0, "F": 5.0, "T": 2.0})
+
+
+def test_wire_stamps_are_immutable():
+    """Regression: stamps used to be dicts, aliased between the sender's
+    payload and the receiver's _key_vectors — one side could silently
+    rewrite the other's dependency metadata."""
+    merged = cure_merge(freeze_vector({"I": 1.0}), freeze_vector({"F": 2.0}))
+    assert isinstance(merged, tuple)
+    with pytest.raises(TypeError):
+        merged[0] = ("I", 99.0)
+    p = payload(5.0)
+    assert isinstance(p.stamp, tuple)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        p.stamp = freeze_vector({"I": 99.0})
+
+
+def test_stored_vector_is_the_wire_stamp_unchanged():
+    sim, dcs, _ = make_cluster()
+    sim.run(until=200.0)
+    p = payload(sim.now - 50.0, origin="I", deps={"T": 1.0})
+    dcs["F"]._on_payload(p)
+    sim.run(until=sim.now + 100.0)
+    assert dcs["F"]._key_vectors["k"] == p.stamp
+    assert isinstance(dcs["F"]._key_vectors["k"], tuple)
 
 
 def test_vector_entries_matches_datacenters():
@@ -121,7 +150,7 @@ def test_read_stamp_returns_dependency_vector():
     dcs["F"]._on_payload(p)
     sim.run(until=sim.now + 100.0)
     stored = dcs["F"].store.get("k")
-    stamp = dcs["F"].read_stamp("k", stored)
+    stamp = dict(dcs["F"].read_stamp("k", stored))
     assert stamp["I"] == p.label.ts
     assert stamp["T"] == 1.0
 
@@ -135,6 +164,6 @@ def test_stable_entry_own_dc_is_infinite():
 def test_is_stable_vector():
     sim, dcs, _ = make_cluster()
     sim.run(until=300.0)
-    assert dcs["F"].is_stable({"F": 1e9})  # own entry always stable
-    assert dcs["F"].is_stable({"I": 1.0, "T": 1.0})
-    assert not dcs["F"].is_stable({"I": sim.now + 1e6})
+    assert dcs["F"].is_stable(freeze_vector({"F": 1e9}))  # own entry stable
+    assert dcs["F"].is_stable(freeze_vector({"I": 1.0, "T": 1.0}))
+    assert not dcs["F"].is_stable(freeze_vector({"I": sim.now + 1e6}))

@@ -76,7 +76,10 @@ def test_exhaustive_ties_over_the_epoch_change():
     assert result.ok, [o.violations for o in result.counterexamples]
 
 
-def test_schedule_reconfiguration_helper_fires_at_time():
+def test_scheduled_reconfiguration_fires_at_time():
+    # Scripted epoch changes are driven from the harness via the kernel
+    # scheduler; ReconfigurationManager itself exposes no absolute-time
+    # scheduling API (see test_manager_has_no_kernel_scheduling_api).
     scenario = build_scenario("chain3")
     from repro.core.reconfig import ReconfigurationManager
     from repro.core.tree import TreeTopology
@@ -87,9 +90,18 @@ def test_schedule_reconfiguration_helper_fires_at_time():
         edges=[("sF", "sI"), ("sI", "sT")],
         attachments={"I": "sI", "F": "sF", "T": "sT"},
     )
-    manager.schedule_reconfiguration(scenario.sim, 20.0, new_topology)
+    scenario.sim.schedule_at(20.0, lambda: manager.reconfigure(new_topology))
     scenario.sim.run(until=15.0)
     assert scenario.service.current_epoch == 0
     scenario.sim.run(until=scenario.horizon)
     assert scenario.service.current_epoch == 1
     assert manager.complete()
+
+
+def test_manager_has_no_kernel_scheduling_api():
+    # Regression for ARCH004: protocol code must not wrap sim.schedule_at.
+    # The old schedule_reconfiguration helper bound the manager to the
+    # discrete-event kernel's absolute clock; callers now schedule from
+    # the harness layer instead.
+    from repro.core.reconfig import ReconfigurationManager
+    assert not hasattr(ReconfigurationManager, "schedule_reconfiguration")

@@ -67,3 +67,14 @@ def test_mc_subcommand_clean_sweep(capsys):
     assert main(["mc", "--scenario", "chain3", "--strategy", "exhaustive",
                  "--depth", "2"]) == 0
     assert "0 counterexample" in capsys.readouterr().out
+
+
+def test_arch_subcommand_forwards_to_auditor(capsys):
+    assert main(["arch"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_arch_subcommand_list_rules(capsys):
+    assert main(["arch", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "ARCH001" in out and "ARCH203" in out
