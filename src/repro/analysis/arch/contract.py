@@ -62,6 +62,10 @@ class ArchContract:
     components: Tuple[str, ...]           # "module:ClassName"
     plain_classes: Tuple[str, ...]
     handler_methods: Tuple[str, ...]
+    #: modules whose top-level ``register(Name)`` calls declare the wire
+    #: codec vocabulary; when non-empty, ARCH205 cross-checks it against
+    #: the handled message set
+    codec_modules: Tuple[str, ...] = ()
 
     _layer_of_module: Dict[str, Layer] = field(
         default_factory=dict, compare=False, repr=False)
@@ -262,4 +266,5 @@ def load_contract(path: Path) -> ArchContract:
         components=_strings(wire, "components"),
         plain_classes=_strings(wire, "plain_classes"),
         handler_methods=_strings(wire, "handler_methods", ("receive",)),
+        codec_modules=_strings(wire, "codec_modules"),
     )

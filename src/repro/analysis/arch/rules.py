@@ -135,6 +135,20 @@ ALL_ARCH_RULES: Tuple[ArchRule, ...] = (
             "at review time."
         ),
     ),
+    ArchRule(
+        code="ARCH205",
+        title="wire codec and handler sets disagree",
+        rationale=(
+            "When the contract names codec_modules, the set of messages "
+            "registered there (top-level register(Name) calls) must match "
+            "the set some handler dispatches on: a dispatched-but-"
+            "unregistered message cannot cross a real TCP link (the codec "
+            "raises at send), and a registered-but-undispatched message "
+            "crashes the receiver's defensive TypeError arm when a frame "
+            "arrives.  The sim transport hides both, so only the audit "
+            "catches them before a real deployment."
+        ),
+    ),
 )
 
 ARCH_RULES_BY_CODE: Dict[str, ArchRule] = {

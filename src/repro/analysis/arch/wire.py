@@ -1,4 +1,4 @@
-"""Pass 3 — wire-safety (ARCH201–ARCH204).
+"""Pass 3 — wire-safety (ARCH201–ARCH205).
 
 Enumerates the message dataclasses in the contract's ``message_modules``
 (plus ``extra_messages``) and checks, tree-wide:
@@ -20,6 +20,13 @@ Enumerates the message dataclasses in the contract's ``message_modules``
   mutable reference between processes.
 * ARCH204 — every construction site passes only known field names and no
   more positionals than the dataclass defines.
+* ARCH205 — codec/handler conformance (only when the contract names
+  ``codec_modules``): every message some handler dispatches on must be
+  registered with the wire codec (or it cannot cross a real TCP link),
+  and every *message* registered with the codec must have a handler (or
+  a decoded frame would crash the dispatch arm).  Contract
+  ``components`` and non-message plain classes may be registered freely
+  — they ride inside message fields and are never dispatched.
 """
 
 from __future__ import annotations
@@ -75,6 +82,8 @@ def check_wire(graph: ModuleGraph,
     findings.extend(_check_missing_handlers(
         graph, messages, handlers, constructed - component_names))
     findings.extend(_check_handler_field_access(graph, contract, messages))
+    findings.extend(_check_codec_conformance(
+        graph, contract, messages, handlers, component_names))
     return findings
 
 
@@ -446,3 +455,69 @@ def _check_access(module: Module, node: ast.AST, var: str,
                 f"isinstance(..., {msg.name}) branch, but {msg.name} has "
                 f"no such field (fields: {sorted(msg.fields)})"),
         ))
+
+
+# -- ARCH205: codec/handler conformance --------------------------------------
+
+def _collect_codec_registrations(
+        graph: ModuleGraph, contract: ArchContract
+        ) -> Dict[str, Tuple[Module, int]]:
+    """Class name -> (codec module, line) for every top-level
+    ``register(Name)`` / ``codec.register(Name)`` call in the contract's
+    codec modules."""
+    registered: Dict[str, Tuple[Module, int]] = {}
+    for mod_name in contract.codec_modules:
+        module = graph.modules.get(mod_name)
+        if module is None:
+            continue
+        for stmt in module.tree.body:
+            if not (isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Call)):
+                continue
+            call = stmt.value
+            func = call.func
+            func_name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None)
+            if func_name != "register" or len(call.args) != 1:
+                continue
+            arg = call.args[0]
+            name = arg.id if isinstance(arg, ast.Name) else (
+                arg.attr if isinstance(arg, ast.Attribute) else None)
+            if name is not None:
+                registered[name] = (module, call.lineno)
+    return registered
+
+
+def _check_codec_conformance(graph: ModuleGraph, contract: ArchContract,
+                             messages: Dict[str, MessageType],
+                             handled: Set[str],
+                             component_names: Set[str]) -> List[ArchFinding]:
+    if not contract.codec_modules:
+        return []
+    registered = _collect_codec_registrations(graph, contract)
+    findings: List[ArchFinding] = []
+    # every dispatched message must be encodable
+    for name in sorted(handled - set(registered)):
+        msg = messages[name]
+        module = graph.modules[msg.module]
+        findings.append(ArchFinding(
+            file=str(module.path), line=msg.node.lineno, code="ARCH205",
+            message=(
+                f"message {name} is dispatched by a handler but never "
+                f"registered with the wire codec "
+                f"({', '.join(contract.codec_modules)}); it cannot cross "
+                "a real transport link"),
+        ))
+    # every registered *message* must be dispatchable (components and
+    # plain field classes ride inside messages and are exempt)
+    for name in sorted(set(registered) & set(messages)
+                       - handled - component_names):
+        module, line = registered[name]
+        findings.append(ArchFinding(
+            file=str(module.path), line=line, code="ARCH205",
+            message=(
+                f"message {name} is registered with the wire codec but no "
+                f"handler method tests isinstance(..., {name}); a decoded "
+                "frame would crash the dispatch arm"),
+        ))
+    return findings

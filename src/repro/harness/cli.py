@@ -11,6 +11,7 @@ Installed as the ``saturn-repro`` console script::
     saturn-repro faults --list             # scripted chaos scenarios
     saturn-repro obs --pair T S            # per-edge visibility breakdown
     saturn-repro arch                      # architecture audit (ARCHxxx)
+    saturn-repro net run --dcs 3           # real asyncio TCP cluster
 """
 
 from __future__ import annotations
@@ -105,6 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="arguments forwarded to "
                            "python -m repro.analysis.arch")
 
+    net = sub.add_parser(
+        "net", help="real asyncio TCP cluster over localhost (repro.net)",
+        add_help=False)
+    net.add_argument("net_args", nargs=argparse.REMAINDER,
+                     help="arguments forwarded to python -m repro.net")
+
     return parser
 
 
@@ -155,6 +162,9 @@ def main(argv: Optional[list] = None) -> int:
     if argv and argv[0] == "arch":
         from repro.analysis.arch.__main__ import main as arch_main
         return arch_main(list(argv[1:]))
+    if argv and argv[0] == "net":
+        from repro.net.cli import main as net_main
+        return net_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
 
     if args.command == "list":

@@ -1,0 +1,29 @@
+"""Pluggable transport: the same protocol code on sim or real TCP.
+
+ROADMAP item 1.  Every actor (:class:`~repro.sim.process.Process`
+subclass) talks to its peers exclusively through an attached *transport*
+— an object satisfying the structural :class:`~repro.net.transport.
+Transport` protocol.  Two implementations exist:
+
+* the deterministic in-process :class:`~repro.sim.network.Network`
+  (tier-1 path: golden traces, HazardMonitor digests, mc replay), and
+* :class:`~repro.net.tcp.TcpTransport` + :class:`~repro.net.kernel.
+  RealtimeKernel`: one OS process per datacenter / serializer, frames on
+  asyncio TCP, discovery through :mod:`repro.net.directory`.
+
+``python -m repro.net run`` (or ``saturn-repro net run``) boots an N-DC
+chain over localhost and drives the causal-visibility smoke workload
+end-to-end; see DESIGN.md §10.
+"""
+
+from repro.net.codec import (CodecError, decode_message, encode_message,
+                             registered_messages)
+from repro.net.kernel import RealtimeKernel
+from repro.net.spec import ClusterSpec, chain_smoke_spec
+from repro.net.transport import Kernel, Transport
+
+__all__ = [
+    "Transport", "Kernel", "RealtimeKernel",
+    "ClusterSpec", "chain_smoke_spec",
+    "CodecError", "encode_message", "decode_message", "registered_messages",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.net`` — alias for ``saturn-repro net``."""
+
+import sys
+
+from repro.net.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

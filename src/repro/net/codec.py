@@ -1,0 +1,221 @@
+"""Wire codec: frozen message dataclasses <-> length-prefixed JSON frames.
+
+Every message that can cross a process boundary is *registered* here by
+class name; the registrations at the bottom of this module are the
+machine-checked mirror of ``arch_contract.toml``'s wire vocabulary
+(``codec_modules`` + audit rule ARCH205: a message with a receive handler
+but no ``register(...)`` call — or vice versa — is an audit finding).
+
+Encoding is canonical tagged JSON, so frames are byte-deterministic:
+
+* scalars (``None``/``bool``/``int``/``float``/``str``) encode as-is;
+* ``tuple``     -> ``{"__t": [items...]}``;
+* ``frozenset`` -> ``{"__fs": [items...]}`` sorted by canonical encoding;
+* enum member   -> ``{"__e": ["EnumName", value]}``;
+* registered dataclass -> ``{"__d": ["ClassName", {field: value, ...}]}``.
+
+Top-level JSON uses sorted keys, minimal separators, and
+``allow_nan=False`` (NaN timestamps must fail loudly, not travel).  A
+frame is a 4-byte big-endian length followed by the JSON body
+``{"dst": ..., "msg": ..., "src": ...}`` — see DESIGN.md §10.
+
+Mutable containers (list/dict/set) are rejected by design: they are not
+wire-safe (ARCH203) and accepting them here would hide aliasing bugs the
+simulator's by-reference delivery already masks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import struct
+from typing import Any, Dict, Tuple, Type
+
+from repro.baselines.base import BaselinePayload
+from repro.baselines.explicit import DepContext, ExplicitPayload
+from repro.core.label import Label, LabelType
+from repro.datacenter.messages import (AttachOk, BulkHeartbeat, ClientAttach,
+                                       ClientMigrate, ClientRead,
+                                       ClientUpdate, LabelBatch, MigrateReply,
+                                       Ping, Pong, ReadReply, RemotePayload,
+                                       SerializerBeacon, StabilizationMsg,
+                                       UpdateReply)
+
+__all__ = [
+    "CodecError", "register", "registered_messages",
+    "encode_value", "decode_value", "encode_message", "decode_message",
+    "encode_frame", "decode_frame_body", "FRAME_HEADER",
+]
+
+#: frame header: 4-byte big-endian body length
+FRAME_HEADER = struct.Struct(">I")
+
+#: refuse absurd frames before allocating for them (a smoke cluster's
+#: largest message is a LabelBatch of a few dozen labels, well under 1 MiB)
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class CodecError(ValueError):
+    """Raised for unregistered types, malformed frames, or unsafe values."""
+
+
+_DATACLASSES: Dict[str, Type] = {}
+_ENUMS: Dict[str, Type] = {}
+
+
+def register(cls: Type) -> Type:
+    """Register *cls* (frozen dataclass or Enum) under its class name.
+
+    Kept as one explicit top-level call per type — never a loop — so the
+    architecture audit (ARCH205) can enumerate the registrations
+    statically and diff them against the handler-dispatched messages.
+    """
+    name = cls.__name__
+    if name in _DATACLASSES or name in _ENUMS:
+        raise CodecError(f"duplicate codec registration for {name!r}")
+    if isinstance(cls, type) and issubclass(cls, enum.Enum):
+        _ENUMS[name] = cls
+    elif dataclasses.is_dataclass(cls):
+        _DATACLASSES[name] = cls
+    else:
+        raise CodecError(f"{name!r} is neither a dataclass nor an Enum")
+    return cls
+
+
+def registered_messages() -> Dict[str, Type]:
+    """Registered dataclass types by name (a copy; enums excluded)."""
+    return dict(_DATACLASSES)
+
+
+# -- value encoding ----------------------------------------------------------
+
+def encode_value(value: Any) -> Any:
+    """Lower *value* to tagged JSON-compatible data."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise CodecError(f"non-finite float on the wire: {value!r}")
+        return value
+    if isinstance(value, tuple):
+        return {"__t": [encode_value(v) for v in value]}
+    if isinstance(value, frozenset):
+        items = [encode_value(v) for v in value]
+        items.sort(key=lambda item: json.dumps(item, sort_keys=True))
+        return {"__fs": items}
+    if isinstance(value, enum.Enum):
+        name = type(value).__name__
+        if name not in _ENUMS:
+            raise CodecError(f"unregistered enum {name!r}")
+        return {"__e": [name, value.value]}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__
+        if name not in _DATACLASSES:
+            raise CodecError(f"unregistered message type {name!r}")
+        fields = {f.name: encode_value(getattr(value, f.name))
+                  for f in dataclasses.fields(value)}
+        return {"__d": [name, fields]}
+    raise CodecError(
+        f"value of type {type(value).__name__!r} is not wire-safe "
+        "(plain data only; lists/dicts/sets are rejected by design)")
+
+
+def decode_value(data: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if data is None or isinstance(data, (bool, int, float, str)):
+        return data
+    if isinstance(data, dict):
+        if len(data) != 1:
+            raise CodecError(f"malformed tagged value: {data!r}")
+        tag, payload = next(iter(data.items()))
+        if tag == "__t":
+            return tuple(decode_value(v) for v in payload)
+        if tag == "__fs":
+            return frozenset(decode_value(v) for v in payload)
+        if tag == "__e":
+            name, member = payload
+            cls = _ENUMS.get(name)
+            if cls is None:
+                raise CodecError(f"unregistered enum {name!r}")
+            return cls(member)
+        if tag == "__d":
+            name, fields = payload
+            cls = _DATACLASSES.get(name)
+            if cls is None:
+                raise CodecError(f"unregistered message type {name!r}")
+            return cls(**{key: decode_value(v) for key, v in fields.items()})
+        raise CodecError(f"unknown codec tag {tag!r}")
+    if isinstance(data, list):
+        raise CodecError("bare JSON array is not a wire value (tuples "
+                         "travel tagged)")
+    raise CodecError(f"undecodable wire value: {data!r}")
+
+
+# -- message and frame encoding ---------------------------------------------
+
+def _canonical(data: Any) -> bytes:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False).encode("utf-8")
+
+
+def encode_message(message: Any) -> bytes:
+    """Canonical bytes of one message (no frame header)."""
+    return _canonical(encode_value(message))
+
+
+def decode_message(data: bytes) -> Any:
+    try:
+        parsed = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"malformed message body: {exc}") from None
+    return decode_value(parsed)
+
+
+def encode_frame(src: str, dst: str, message: Any) -> bytes:
+    """One addressed frame: 4-byte length + canonical JSON body."""
+    body = _canonical(
+        {"src": src, "dst": dst, "msg": encode_value(message)})
+    if len(body) > MAX_FRAME_BYTES:
+        raise CodecError(f"frame body of {len(body)} bytes exceeds the "
+                         f"{MAX_FRAME_BYTES}-byte ceiling")
+    return FRAME_HEADER.pack(len(body)) + body
+
+
+def decode_frame_body(body: bytes) -> Tuple[str, str, Any]:
+    """Decode a frame body (header already stripped) -> (src, dst, msg)."""
+    try:
+        parsed = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"malformed frame body: {exc}") from None
+    if not isinstance(parsed, dict) or set(parsed) != {"src", "dst", "msg"}:
+        raise CodecError(f"malformed frame envelope: {body[:80]!r}")
+    return parsed["src"], parsed["dst"], decode_value(parsed["msg"])
+
+
+# -- wire vocabulary ---------------------------------------------------------
+# Value types riding inside message fields:
+register(Label)
+register(LabelType)
+register(DepContext)
+# client <-> datacenter:
+register(ClientAttach)
+register(ClientRead)
+register(ClientUpdate)
+register(ClientMigrate)
+register(AttachOk)
+register(ReadReply)
+register(UpdateReply)
+register(MigrateReply)
+# datacenter <-> datacenter (bulk-data transfer):
+register(RemotePayload)
+register(BulkHeartbeat)
+# datacenter <-> Saturn:
+register(LabelBatch)
+register(SerializerBeacon)
+register(Ping)
+register(Pong)
+# stabilization baselines:
+register(StabilizationMsg)
+register(BaselinePayload)
+register(ExplicitPayload)

@@ -1,0 +1,92 @@
+"""Realtime kernel: the :class:`~repro.net.transport.Kernel` protocol on
+asyncio wall time.
+
+Actors built for the simulator only ever touch the kernel through
+``now`` / ``schedule`` / ``schedule_at`` (plus the sanctioned seam
+modules ``sim.clock`` and ``sim.cpu``, which themselves reduce to those
+three), so this class is all it takes to run a
+:class:`~repro.datacenter.datacenter.SaturnDatacenter` or a
+:class:`~repro.core.serializer.Serializer` unmodified on real time.
+
+``now`` is *wall-anchored* milliseconds (Unix epoch base advanced by the
+monotonic clock): monotonic within a node, comparable across nodes up to
+host clock skew — which is exactly the physical-clock model the paper
+assumes (§7), so :class:`~repro.sim.clock.PhysicalClock` timestamps
+taken on different nodes order sensibly.  ``schedule_at`` with a time
+already in the past fires as soon as possible (the sim kernel would
+raise; realtime cannot, because the deadline may have passed while a
+frame was in flight).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Optional
+
+__all__ = ["RealtimeKernel", "RealtimeTimer"]
+
+
+class RealtimeTimer:
+    """Cancellable handle mirroring :class:`repro.sim.engine.Event`."""
+
+    __slots__ = ("_handle", "_cancelled")
+
+    def __init__(self, handle: asyncio.TimerHandle) -> None:
+        self._handle = handle
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        self._handle.cancel()
+
+
+class RealtimeKernel:
+    """Wall-clock scheduler with the simulator's actor-facing surface."""
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None
+                 ) -> None:
+        self._loop = loop or asyncio.get_event_loop()
+        # wall-anchored monotonic time: epoch base read once, advanced by
+        # the monotonic clock so host NTP steps cannot run time backwards
+        self._epoch_ms = time.time() * 1000.0  # noqa: SAT001 - realtime kernel: below the determinism boundary
+        self._mono_base = time.monotonic()  # noqa: SAT001 - realtime kernel: below the determinism boundary
+        #: scheduling counter, mirroring Simulator.last_seq (the sim
+        #: Network's delivery-batching guard reads it; nothing realtime
+        #: depends on it, but keeping the surface identical lets shared
+        #: code hold either kernel)
+        self.last_seq = -1
+        self.events_executed = 0
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        return self._loop
+
+    @property
+    def now(self) -> float:
+        """Wall-anchored milliseconds (monotonic within this process)."""
+        return self._epoch_ms + (
+            time.monotonic() - self._mono_base) * 1000.0  # noqa: SAT001 - realtime kernel: below the determinism boundary
+
+    def schedule(self, delay: float,
+                 callback: Callable[[], None]) -> RealtimeTimer:
+        """Run *callback* after *delay* ms (>= 0)."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        self.last_seq += 1
+
+        def _fire() -> None:
+            self.events_executed += 1
+            callback()
+
+        return RealtimeTimer(self._loop.call_later(delay / 1000.0, _fire))
+
+    def schedule_at(self, when: float,
+                    callback: Callable[[], None]) -> RealtimeTimer:
+        """Run *callback* at kernel time *when* (ms); past deadlines fire
+        as soon as possible."""
+        return self.schedule(max(0.0, when - self.now), callback)

@@ -1,0 +1,340 @@
+"""Node runtime: one OS process hosting a datacenter or a serializer.
+
+``python -m repro.net.node --dir <node-dir>`` reads ``node.json`` (written
+by the driver, see :func:`repro.net.spec.write_cluster`), boots a
+:class:`~repro.net.kernel.RealtimeKernel` + :class:`~repro.net.tcp.
+TcpTransport`, registers with the directory service, waits for the full
+roster, then instantiates *the same protocol actors the simulator runs*
+— :class:`~repro.datacenter.datacenter.SaturnDatacenter` with its
+scripted :class:`~repro.datacenter.client.ClientProcess` load, or a
+:class:`~repro.core.serializer.Serializer` — entirely unmodified.
+
+Lifecycle: register -> roster-complete -> run (status heartbeats to the
+directory) -> phase ``stop`` observed -> flush ``visibility.jsonl``,
+close sockets, exit 0.  A wall-clock deadline (``deadline_s`` in
+node.json) bounds every phase; exceeding it exits 3 so a wedged cluster
+can never outlive the driver's timeout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.naming import dc_process_name
+from repro.core.serializer import Serializer
+from repro.core.service import SaturnService
+from repro.datacenter.client import ClientProcess
+from repro.datacenter.datacenter import DatacenterParams, SaturnDatacenter
+from repro.net.directory import request_async
+from repro.net.kernel import RealtimeKernel
+from repro.net.spec import ClusterSpec
+from repro.net.tcp import TcpTransport
+from repro.sim.clock import PhysicalClock
+from repro.sim.cpu import CostModel
+from repro.workloads.ops import ReadOp, UpdateOp
+
+__all__ = ["NodeRuntime", "NetRecorder", "StaticSaturnView",
+           "script_generator", "main"]
+
+#: polling periods (seconds, real time)
+_ROSTER_POLL_S = 0.05
+_STATUS_PERIOD_S = 0.1
+
+
+class StaticSaturnView:
+    """``dc.saturn`` stand-in for a static epoch-0 tree.
+
+    The full :class:`~repro.core.service.SaturnService` owns serializer
+    *construction*, which on a real cluster happens in the serializer
+    nodes; a datacenter only ever asks the service where to stream its
+    labels, so that one query is all the view answers."""
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self._attachments = dict(spec.attachments)
+
+    def ingress_process(self, dc_name: str, epoch: int) -> Optional[str]:
+        serializer = self._attachments.get(dc_name)
+        if serializer is None:
+            return None
+        return SaturnService.serializer_process_name(epoch, serializer)
+
+
+class NetRecorder:
+    """Metrics + execution-log recorder writing canonical JSONL.
+
+    One instance plays both roles a simulated run splits across
+    ``MetricsHub`` and ``ExecutionLog``: it satisfies every hook the
+    datacenter and client processes call, appending one JSON object per
+    event to ``visibility.jsonl`` (the artifact the driver's causal
+    checker and the CI job read)."""
+
+    def __init__(self, path: Path, kernel: RealtimeKernel) -> None:
+        self._fh = open(path, "a", encoding="utf-8", buffering=1)
+        self._kernel = kernel
+        #: first-occurrence order of (origin, key) pairs visible locally
+        self.visible_pairs: List[Tuple[str, str]] = []
+        self._seen: set = set()
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        record["at"] = self._kernel.now
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def _mark(self, origin: str, key: str) -> None:
+        pair = (origin, key)
+        if pair not in self._seen:
+            self._seen.add(pair)
+            self.visible_pairs.append(pair)
+
+    # -- ExecutionLog surface ---------------------------------------------
+
+    def record_update(self, label, origin_dc: str, created_at: float) -> None:
+        self._mark(origin_dc, label.target or "")
+        self._emit({"event": "update", "dc": origin_dc,
+                    "key": label.target, "origin": origin_dc,
+                    "ts": label.ts, "src": label.src,
+                    "created_at": created_at})
+
+    def record_visible(self, label, dc: str, at: float) -> None:
+        self._mark(label.origin_dc, label.target or "")
+        self._emit({"event": "visible", "dc": dc, "key": label.target,
+                    "origin": label.origin_dc, "ts": label.ts,
+                    "src": label.src})
+
+    def record_read(self, client_id: str, dc: str, key: str,
+                    returned, observed_max) -> None:
+        self._emit({"event": "read", "client": client_id, "dc": dc,
+                    "key": key,
+                    "version": list(returned) if returned else None})
+
+    def record_update_deps(self, version, deps) -> None:
+        self._emit({"event": "deps", "version": list(version),
+                    "deps": sorted(list(dep) for dep in deps)})
+
+    # -- metrics surface ---------------------------------------------------
+
+    def record_visibility(self, origin: str, dest: str,
+                          latency: float) -> None:
+        self._emit({"event": "latency", "origin": origin, "dest": dest,
+                    "ms": latency})
+
+    def record_op(self, kind: str, latency: float, at: float) -> None:
+        self._emit({"event": "op", "kind": kind, "ms": latency})
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+def script_generator(script: List[Dict[str, Any]]
+                     ) -> Callable[[ClientProcess], object]:
+    """Workload callable for one declarative client script.
+
+    Mirrors the model checker's scripted generators: ``update`` and
+    ``read`` ops issue once; ``poll`` re-reads its key until a version is
+    observed (bounded by ``cap`` so a broken cluster still terminates)."""
+    steps = list(script)
+    state = {"index": 0, "reads": 0}
+
+    def generator(client: ClientProcess) -> object:
+        while state["index"] < len(steps):
+            step = steps[state["index"]]
+            op = step["op"]
+            if op == "update":
+                state["index"] += 1
+                return UpdateOp(step["key"], step.get("size", 2))
+            if op == "read":
+                state["index"] += 1
+                return ReadOp(step["key"])
+            if op == "poll":
+                if (client._observed_max_per_key.get(step["key"]) is None
+                        and state["reads"] < step.get("cap", 400)):
+                    state["reads"] += 1
+                    return ReadOp(step["key"])
+                state["index"] += 1
+                state["reads"] = 0
+                continue
+            raise ValueError(f"unknown script op {op!r}")
+        return None
+
+    return generator
+
+
+class NodeRuntime:
+    """Boot, run, and gracefully stop one node of a real cluster."""
+
+    def __init__(self, node_dir: Path) -> None:
+        self.node_dir = Path(node_dir)
+        config = json.loads(
+            (self.node_dir / "node.json").read_text(encoding="utf-8"))
+        self.config = config
+        self.node_name: str = config["node"]
+        self.role: str = config["role"]
+        self.target: str = config["target"]
+        self.processes: List[str] = list(config["processes"])
+        self.directory: Tuple[str, int] = (config["directory"][0],
+                                           int(config["directory"][1]))
+        self.deadline_s: float = float(config.get("deadline_s", 120.0))
+        self.spec = ClusterSpec.load(
+            (self.node_dir / config["spec"]).resolve())
+        self.kernel: Optional[RealtimeKernel] = None
+        self.transport: Optional[TcpTransport] = None
+        self.recorder: Optional[NetRecorder] = None
+        self.clients: List[ClientProcess] = []
+        self.datacenter: Optional[SaturnDatacenter] = None
+        self.serializer: Optional[Serializer] = None
+
+    # -- boot --------------------------------------------------------------
+
+    async def _directory_request(self, request: Dict[str, Any]
+                                 ) -> Dict[str, Any]:
+        host, port = self.directory
+        return await request_async(host, port, request)
+
+    async def _register(self, host: str, port: int,
+                        deadline: float) -> None:
+        while True:
+            try:
+                await self._directory_request({
+                    "op": "register", "node": self.node_name,
+                    "host": host, "port": port,
+                    "processes": self.processes})
+                return
+            except OSError:
+                if self.kernel.now > deadline:
+                    raise TimeoutError("directory never became reachable")
+                await asyncio.sleep(_ROSTER_POLL_S)
+
+    async def _await_roster(self, deadline: float) -> Dict[str, Any]:
+        while True:
+            try:
+                reply = await self._directory_request({"op": "lookup"})
+                if reply.get("complete"):
+                    return reply["nodes"]
+            except OSError:
+                pass
+            if self.kernel.now > deadline:
+                raise TimeoutError("cluster roster never completed")
+            await asyncio.sleep(_ROSTER_POLL_S)
+
+    def _build_actors(self) -> None:
+        spec = self.spec
+        replication = spec.replication()
+        if self.role == "serializer":
+            self.serializer = Serializer(
+                self.kernel,
+                name=SaturnService.serializer_process_name(0, self.target),
+                tree_name=self.target,
+                topology=spec.topology(),
+                replication=replication,
+                delivery_name=dc_process_name,
+                peer_process_name=(
+                    lambda t: SaturnService.serializer_process_name(0, t)),
+                epoch=0,
+                chain_length=1,
+                local_hop_latency=0.0)
+            self.serializer.attach_network(self.transport)
+            return
+        recorder = NetRecorder(self.node_dir / "visibility.jsonl",
+                               self.kernel)
+        self.recorder = recorder
+        params = DatacenterParams(
+            name=self.target, site=self.target, consistency="saturn",
+            **spec.params)
+        datacenter = SaturnDatacenter(
+            self.kernel, params, replication, CostModel(),
+            PhysicalClock(self.kernel), metrics=recorder,
+            execution_log=recorder)
+        datacenter.attach_network(self.transport)
+        datacenter.saturn = StaticSaturnView(spec)
+        datacenter.start()
+        self.datacenter = datacenter
+        for index, client_spec in enumerate(spec.clients_of(self.target)):
+            client = ClientProcess(
+                self.kernel, client_spec["id"], self.target,
+                script_generator(client_spec["script"]),
+                metrics=recorder, execution_log=recorder)
+            client.attach_network(self.transport)
+            # stagger starts (as the harness does) and leave a beat for
+            # remote actors to finish booting
+            self.kernel.schedule(20.0 + 5.0 * index, client.start)
+            self.clients.append(client)
+
+    # -- status ------------------------------------------------------------
+
+    def _report(self) -> Dict[str, Any]:
+        if self.role == "serializer":
+            return {"role": "serializer",
+                    "forwarded": self.serializer.labels_forwarded,
+                    "delivered": self.serializer.labels_delivered}
+        return {
+            "role": "dc",
+            "clients_done": all(not c._running for c in self.clients),
+            "ops": sum(c.ops_completed for c in self.clients),
+            "visible": [list(pair)
+                        for pair in self.recorder.visible_pairs],
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def run(self) -> int:
+        self.kernel = RealtimeKernel(asyncio.get_running_loop())
+        started = self.kernel.now
+        deadline = started + self.deadline_s * 1000.0
+        self.transport = TcpTransport(self.kernel, self.node_name)
+        host, port = await self.transport.start()
+        print(f"[{self.node_name}] listening on {host}:{port}", flush=True)
+        try:
+            await self._register(host, port, deadline)
+            nodes = await self._await_roster(deadline)
+            routes = {process: node
+                      for node, info in sorted(nodes.items())
+                      for process in info["processes"]}
+            addresses = {node: (info["host"], info["port"])
+                         for node, info in nodes.items()}
+            self.transport.set_routes(routes, addresses)
+            self._build_actors()
+            print(f"[{self.node_name}] roster complete, actors up",
+                  flush=True)
+            while True:
+                await asyncio.sleep(_STATUS_PERIOD_S)
+                if self.kernel.now > deadline:
+                    print(f"[{self.node_name}] deadline exceeded",
+                          flush=True)
+                    return 3
+                reply = await self._directory_request({
+                    "op": "status", "node": self.node_name,
+                    "report": self._report()})
+                if reply.get("phase") == "stop":
+                    break
+            for client in self.clients:
+                client.stop()
+            # last report so the directory state artifact shows the
+            # final visibility picture
+            await self._directory_request({
+                "op": "status", "node": self.node_name,
+                "report": self._report()})
+            print(f"[{self.node_name}] stopping cleanly", flush=True)
+            return 0
+        finally:
+            if self.recorder is not None:
+                self.recorder.close()
+            await self.transport.stop()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net.node",
+        description="run one node of a real Saturn cluster")
+    parser.add_argument("--dir", required=True, metavar="NODE_DIR",
+                        help="node config directory (contains node.json)")
+    args = parser.parse_args(argv)
+    runtime = NodeRuntime(Path(args.dir))
+    return asyncio.run(runtime.run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,214 @@
+"""Asyncio TCP implementation of the :class:`~repro.net.transport.Transport`
+protocol.
+
+One :class:`TcpTransport` serves one OS process (a *node*) hosting one or
+more actors.  Addressing is two-level: actor process names (the same
+names the simulator uses — ``dc:I``, ``ser:e0:sI``, ``client:writer-I``)
+map to *nodes*, nodes map to listen addresses; both maps come from the
+directory service at boot (:meth:`set_routes`).
+
+FIFO guarantee: all frames to a given remote node travel on one
+persistent connection, written by one writer task in enqueue order —
+TCP then preserves per-link order end-to-end, which is stronger than the
+per-(src, dst) FIFO the protocol needs.  Local destinations skip the
+socket and are delivered through the kernel with the same
+asynchronous-delivery discipline (never re-entrantly inside ``send``).
+
+Frames for a local destination that has not registered yet (actors boot
+in arbitrary order across nodes) are buffered and flushed on
+:meth:`register`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.net import codec
+from repro.net.kernel import RealtimeKernel
+
+__all__ = ["TcpTransport"]
+
+log = logging.getLogger("repro.net.tcp")
+
+#: reconnect schedule for a peer whose node is not accepting yet (seconds)
+_CONNECT_RETRY_S = 0.05
+_CONNECT_ATTEMPTS = 100
+
+
+class _Peer:
+    """One persistent outbound connection to a remote node."""
+
+    def __init__(self, transport: "TcpTransport", node: str,
+                 host: str, port: int) -> None:
+        self.node = node
+        self.host = host
+        self.port = port
+        self._transport = transport
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._task = transport.kernel.loop.create_task(self._run())
+
+    def enqueue(self, frame: bytes) -> None:
+        self._queue.put_nowait(frame)
+
+    async def _run(self) -> None:
+        writer = None
+        try:
+            for attempt in range(_CONNECT_ATTEMPTS):
+                try:
+                    _, writer = await asyncio.open_connection(
+                        self.host, self.port)
+                    break
+                except OSError:
+                    await asyncio.sleep(_CONNECT_RETRY_S)
+            else:
+                raise OSError(
+                    f"peer node {self.node!r} at {self.host}:{self.port} "
+                    f"never accepted a connection")
+            while True:
+                frame = await self._queue.get()
+                writer.write(frame)
+                if self._queue.empty():
+                    await writer.drain()
+        except asyncio.CancelledError:
+            pass
+        except (OSError, ConnectionError) as exc:
+            log.error("peer %s (%s:%s) failed: %s",
+                      self.node, self.host, self.port, exc)
+            self._transport.peer_errors += 1
+        finally:
+            if writer is not None:
+                writer.close()
+
+    async def close(self) -> None:
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+
+
+class TcpTransport:
+    """Length-prefixed-frame message fabric for one node's actors."""
+
+    def __init__(self, kernel: RealtimeKernel, node_name: str,
+                 host: str = "127.0.0.1") -> None:
+        self.kernel = kernel
+        self.node_name = node_name
+        self.host = host
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._local: Dict[str, Any] = {}
+        #: frames for local actors that have not registered yet
+        self._pending: Dict[str, List[Tuple[str, Any]]] = {}
+        self._routes: Dict[str, str] = {}            # process -> node
+        self._addresses: Dict[str, Tuple[str, int]] = {}  # node -> addr
+        self._peers: Dict[str, _Peer] = {}
+        self._sites: Dict[str, str] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.frames_received = 0
+        self.peer_errors = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, port: int = 0) -> Tuple[str, int]:
+        """Bind the listening socket; returns (host, port)."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        for peer in list(self._peers.values()):
+            await peer.close()
+        self._peers.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- Transport protocol ------------------------------------------------
+
+    def register(self, process: Any) -> None:
+        name = process.name
+        if name in self._local:
+            raise ValueError(f"duplicate process name {name!r}")
+        self._local[name] = process
+        for src, message in self._pending.pop(name, []):
+            self._deliver_soon(process, src, message)
+
+    def place(self, process_name: str, site: str) -> None:
+        """Record the site for parity with the sim Network (no latency
+        model on a real network — the wire provides its own)."""
+        self._sites[process_name] = site
+
+    def send(self, src: str, dst: str, message: Any,
+             size_bytes: int = 0) -> None:
+        self.messages_sent += 1
+        local = self._local.get(dst)
+        if local is not None:
+            self._deliver_soon(local, src, message)
+            return
+        node = self._routes.get(dst)
+        if node is None:
+            raise KeyError(f"unknown destination process {dst!r}")
+        frame = codec.encode_frame(src, dst, message)
+        self.bytes_sent += len(frame)
+        self._peer_for(node).enqueue(frame)
+
+    # -- routing -----------------------------------------------------------
+
+    def set_routes(self, process_to_node: Dict[str, str],
+                   node_addresses: Dict[str, Tuple[str, int]]) -> None:
+        """Install the directory's view of the cluster (additively)."""
+        for process, node in process_to_node.items():
+            if node != self.node_name:
+                self._routes[process] = node
+        for node, (host, port) in node_addresses.items():
+            self._addresses[node] = (host, int(port))
+
+    def _peer_for(self, node: str) -> _Peer:
+        peer = self._peers.get(node)
+        if peer is None:
+            try:
+                host, port = self._addresses[node]
+            except KeyError:
+                raise KeyError(f"no address for node {node!r}") from None
+            peer = _Peer(self, node, host, port)
+            self._peers[node] = peer
+        return peer
+
+    # -- delivery ----------------------------------------------------------
+
+    def _deliver_soon(self, process: Any, src: str, message: Any) -> None:
+        # via the kernel, not a direct call: delivery must never re-enter
+        # the sender's stack (same discipline as the sim Network)
+        self.kernel.schedule(0.0, lambda: process.deliver(src, message))
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                header = await reader.readexactly(codec.FRAME_HEADER.size)
+                (length,) = codec.FRAME_HEADER.unpack(header)
+                if length > codec.MAX_FRAME_BYTES:
+                    raise codec.CodecError(
+                        f"inbound frame of {length} bytes exceeds ceiling")
+                body = await reader.readexactly(length)
+                src, dst, message = codec.decode_frame_body(body)
+                self.frames_received += 1
+                process = self._local.get(dst)
+                if process is not None:
+                    self._deliver_soon(process, src, message)
+                else:
+                    # actor not constructed yet (cross-node boot race)
+                    self._pending.setdefault(dst, []).append((src, message))
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass  # peer closed; normal at shutdown
+        except codec.CodecError as exc:
+            log.error("dropping connection on codec error: %s", exc)
+            self.peer_errors += 1
+        finally:
+            writer.close()

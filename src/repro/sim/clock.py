@@ -13,6 +13,7 @@ and can be bumped past an observed timestamp (``GENERATE_TSTAMP`` in Alg. 2).
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 from repro.sim.engine import Simulator
@@ -48,7 +49,11 @@ class PhysicalClock:
         if at_least is not None and at_least > floor:
             floor = at_least
         if candidate <= floor:
-            candidate = floor + 1e-6
+            # nextafter guards the wall-anchored realtime kernel, whose
+            # epoch-scale floats are too coarse for the fixed 1e-6 bump;
+            # at sim magnitudes the max() always picks floor + 1e-6, so
+            # simulated traces are unchanged
+            candidate = max(floor + 1e-6, math.nextafter(floor, math.inf))
         self._last_timestamp = candidate
         return candidate
 

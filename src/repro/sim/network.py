@@ -18,6 +18,12 @@ Latency resolution order for a (src, dst) pair:
 2. the site-level latency matrix (processes carry a *site* such as an EC2
    region; see :meth:`Network.place`),
 3. ``default_latency`` (intra-site / unplaced processes).
+
+:class:`Network` is the *simulated* implementation of the
+:class:`repro.net.transport.Transport` protocol (``register`` / ``place``
+/ ``send``); :class:`repro.net.tcp.TcpTransport` is the real-network one.
+Protocol actors hold either implementation through the same three
+methods, so everything above this seam is transport-agnostic.
 """
 
 from __future__ import annotations

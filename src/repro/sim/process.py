@@ -4,6 +4,13 @@ Every node in the simulated system (frontend, gear, storage server,
 serializer, client, ...) is a :class:`Process` with a unique name.  Processes
 communicate exclusively through the :class:`~repro.sim.network.Network`,
 which invokes :meth:`Process.receive` on delivery.
+
+Despite living under ``repro.sim``, a Process is transport-agnostic: it
+only touches its kernel via ``now``/``schedule`` and its network via the
+:class:`repro.net.transport.Transport` protocol surface, so the same
+actor runs unmodified on the deterministic simulator or on a
+:class:`repro.net.kernel.RealtimeKernel` +
+:class:`repro.net.tcp.TcpTransport` (one OS process per node).
 """
 
 from __future__ import annotations

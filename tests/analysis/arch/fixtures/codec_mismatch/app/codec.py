@@ -1,0 +1,12 @@
+"""Wire codec of the fixture app: StateMsg is missing from the registry."""
+
+from app.messages import AckMsg
+
+_REGISTRY = {}
+
+
+def register(cls):
+    _REGISTRY[cls.__name__] = cls
+
+
+register(AckMsg)

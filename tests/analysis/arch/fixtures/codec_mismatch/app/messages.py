@@ -1,0 +1,13 @@
+"""Wire vocabulary of the fixture app."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AckMsg:
+    seq: int
+
+
+@dataclass(frozen=True)
+class StateMsg:
+    entries: str

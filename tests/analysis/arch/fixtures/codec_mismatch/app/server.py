@@ -1,0 +1,15 @@
+"""Constructs and dispatches both messages; only AckMsg is in the codec."""
+
+from app.messages import AckMsg, StateMsg
+
+
+class Server:
+    def push(self, send) -> None:
+        send(AckMsg(seq=1))
+        send(StateMsg(entries="a=1"))
+
+    def receive(self, sender: str, message) -> None:
+        if isinstance(message, AckMsg):
+            self.last_seq = message.seq
+        elif isinstance(message, StateMsg):
+            self.state = message.entries

@@ -17,7 +17,8 @@ def repo_contract():
 def test_rule_catalogue_is_complete():
     assert [rule.code for rule in ALL_ARCH_RULES] == [
         "ARCH001", "ARCH002", "ARCH003", "ARCH004",
-        "ARCH101", "ARCH201", "ARCH202", "ARCH203", "ARCH204"]
+        "ARCH101", "ARCH201", "ARCH202", "ARCH203", "ARCH204",
+        "ARCH205"]
     for rule in ALL_ARCH_RULES:
         assert rule.title and rule.rationale
     assert set(ARCH_RULES_BY_CODE) == {r.code for r in ALL_ARCH_RULES}

@@ -16,6 +16,7 @@ SEEDED = {
     "purity_leak": ("ARCH101", "time.time"),
     "missing_handler": ("ARCH201", "PingMsg"),
     "bad_field": ("ARCH203", "StateMsg.entries"),
+    "codec_mismatch": ("ARCH205", "StateMsg"),
 }
 
 

@@ -1,0 +1,93 @@
+"""The offline causal checker over per-node visibility logs."""
+
+import json
+
+from repro.net.check import check_cluster, check_events
+from repro.net.spec import chain_smoke_spec
+
+
+def _events_for(spec, *, drop=(), leak=(), swap=(), fail_read=False):
+    """Synthesize per-DC event streams for every scripted update.
+
+    ``drop``: (dc, key) pairs withheld from that DC's stream;
+    ``leak``: (dc, key) pairs added even at non-replicas;
+    ``swap``: DCs whose event order is reversed;
+    ``fail_read``: suppress all read events."""
+    replication = spec.replication()
+    updates = spec.scripted_updates()
+    events = {site: [] for site in spec.sites}
+    for origin, key in updates:
+        for site in spec.sites:
+            wanted = site in replication.replicas(key)
+            if (site, key) in drop:
+                wanted = False
+            if (site, key) in leak:
+                wanted = True
+            if not wanted:
+                continue
+            kind = "update" if site == origin else "visible"
+            events[site].append({"event": kind, "dc": site, "key": key,
+                                 "origin": origin, "ts": 1.0, "src": "s"})
+    for site in swap:
+        events[site].reverse()
+    if not fail_read:
+        for client in spec.clients:
+            for op in client["script"]:
+                if op["op"] == "read":
+                    events[client["dc"]].append({
+                        "event": "read", "client": client["id"],
+                        "dc": client["dc"], "key": op["key"],
+                        "version": [1.0, "s"]})
+    return events
+
+
+def test_conforming_run_passes_all_checks():
+    spec = chain_smoke_spec(3)
+    result = check_events(spec, _events_for(spec))
+    assert result.ok, result.problems
+    assert result.sequences["T"] == [("I", "g0:a"), ("I", "g0:b"),
+                                     ("F", "g0:y")]
+
+
+def test_missing_visibility_is_a_completeness_problem():
+    spec = chain_smoke_spec(3)
+    result = check_events(
+        spec, _events_for(spec, drop=(("T", "g0:y"),)))
+    assert any("completeness" in p and "g0:y" in p
+               for p in result.problems)
+
+
+def test_partial_replication_leak_is_reported():
+    spec = chain_smoke_spec(3)
+    result = check_events(
+        spec, _events_for(spec, leak=(("T", "g1:p"),)))
+    assert any("partial-replication" in p and "g1:p" in p
+               for p in result.problems)
+
+
+def test_causal_inversion_is_reported():
+    spec = chain_smoke_spec(3)
+    result = check_events(spec, _events_for(spec, swap=("T",)))
+    assert any("causal-order" in p for p in result.problems)
+
+
+def test_versionless_reads_are_reported():
+    spec = chain_smoke_spec(3)
+    result = check_events(spec, _events_for(spec, fail_read=True))
+    assert any("read" in p and "g0:a" in p for p in result.problems)
+
+
+def test_check_cluster_reads_logs_from_disk(tmp_path):
+    spec = chain_smoke_spec(2)
+    spec.save(tmp_path / "spec.json")
+    for site, events in _events_for(spec).items():
+        node_dir = tmp_path / f"dc-{site}"
+        node_dir.mkdir()
+        with open(node_dir / "visibility.jsonl", "w",
+                  encoding="utf-8") as fh:
+            for event in events:
+                fh.write(json.dumps(event) + "\n")
+    result = check_cluster(tmp_path)
+    assert result.ok, result.problems
+    assert result.to_json()["ok"] is True
+    assert result.event_counts["I"] > 0

@@ -1,0 +1,87 @@
+"""The ``saturn-repro net`` driver paths that need no subprocesses."""
+
+import json
+
+from repro.net.check import check_cluster
+from repro.net.cli import _python_env, _expected_by_node, _summarize, main
+from repro.net.spec import chain_smoke_spec
+
+
+def test_spec_subcommand_prints_the_cluster_spec(capsys):
+    assert main(["spec", "--dcs", "4", "--poll-cap", "7"]) == 0
+    printed = json.loads(capsys.readouterr().out)
+    assert printed == chain_smoke_spec(4, poll_cap=7).to_json()
+
+
+def _write_conforming_cluster(cluster_dir, spec):
+    cluster_dir.mkdir()
+    spec.save(cluster_dir / "spec.json")
+    replication = spec.replication()
+    for site in spec.sites:
+        node_dir = cluster_dir / f"dc-{site}"
+        node_dir.mkdir()
+        events = []
+        for origin, key in spec.scripted_updates():
+            if site in replication.replicas(key):
+                events.append({
+                    "event": "update" if site == origin else "visible",
+                    "dc": site, "key": key, "origin": origin,
+                    "ts": 1.0, "src": "s"})
+        for client in spec.clients_of(site):
+            for op in client["script"]:
+                if op["op"] == "read":
+                    events.append({
+                        "event": "read", "client": client["id"],
+                        "dc": site, "key": op["key"],
+                        "version": [1.0, "s"]})
+        (node_dir / "visibility.jsonl").write_text(
+            "".join(json.dumps(e) + "\n" for e in events),
+            encoding="utf-8")
+
+
+def test_check_subcommand_over_a_conforming_cluster(tmp_path, capsys):
+    cluster = tmp_path / "cluster"
+    _write_conforming_cluster(cluster, chain_smoke_spec(3))
+    assert main(["check", "--cluster-dir", str(cluster)]) == 0
+    assert json.loads(capsys.readouterr().out)["ok"] is True
+
+
+def test_check_subcommand_flags_a_violating_cluster(tmp_path, capsys):
+    cluster = tmp_path / "cluster"
+    _write_conforming_cluster(cluster, chain_smoke_spec(3))
+    # erase one replica's log: completeness must fail
+    (cluster / "dc-T" / "visibility.jsonl").write_text("", encoding="utf-8")
+    assert main(["check", "--cluster-dir", str(cluster)]) == 1
+    assert json.loads(capsys.readouterr().out)["ok"] is False
+
+
+def test_expected_by_node_respects_partial_replication():
+    expected = _expected_by_node(chain_smoke_spec(3))
+    assert ("I", "g1:p") in expected["dc-F"]
+    assert ("I", "g1:p") not in expected["dc-T"]
+    assert ("F", "g0:y") in expected["dc-T"]
+
+
+def test_python_env_prepends_the_src_root():
+    env = _python_env()
+    first = env["PYTHONPATH"].split(":")[0]
+    assert (first + "/repro/net/cli.py").replace("//", "/")
+
+
+def test_summarize_reports_ok_and_violations(tmp_path, capsys):
+    cluster = tmp_path / "cluster"
+    _write_conforming_cluster(cluster, chain_smoke_spec(3))
+    ok = check_cluster(cluster).to_json()
+    _summarize({"cluster_dir": str(cluster), "check": ok,
+                "node_exits": {"dc-I": 0}, "timed_out": False})
+    out = capsys.readouterr().out
+    assert "net: OK" in out and "causal" in out
+
+    bad = dict(ok)
+    bad["ok"] = False
+    bad["problems"] = ["completeness: g0:y never visible at T"]
+    _summarize({"cluster_dir": str(cluster), "check": bad,
+                "node_exits": {"dc-I": 3}, "timed_out": True,
+                "crashed": ["dc-I"]})
+    out = capsys.readouterr().out
+    assert "TIMEOUT" in out and "VIOLATION" in out and "unclean" in out

@@ -1,0 +1,170 @@
+"""Wire-codec unit, property, and golden-bytes tests.
+
+The property test is the executable form of satellite guarantee 3: every
+registered wire message survives an encode/decode round trip with value
+equality *and* canonical-byte equality (so re-encoding a decoded message
+is byte-stable — required for frame determinism).  The golden fixture
+pins the frame bytes themselves: an accidental format change (key order,
+tag names, separators) breaks cross-version clusters even if round trips
+still pass, and only a committed byte pin catches it.
+"""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.explicit import ExplicitPayload
+from repro.core.label import Label, LabelType
+from repro.datacenter.messages import (BulkHeartbeat, ClientRead,
+                                       ClientUpdate, LabelBatch,
+                                       RemotePayload)
+from repro.net import codec
+
+GOLDEN = Path(__file__).parent / "golden" / "frames.hex"
+
+
+def _label(ts: float = 12.5, src: str = "I:g0", key: str = "g0:a",
+           origin: str = "I") -> Label:
+    return Label(LabelType.UPDATE, src, ts, key, origin)
+
+
+def golden_frames():
+    """The committed frame corpus: one frame per interesting shape."""
+    label = _label()
+    return [
+        codec.encode_frame(
+            "client:w", "dc:I",
+            ClientUpdate("w", "g0:a", 2, label)),
+        codec.encode_frame("client:w", "dc:I", ClientRead("w", "g0:a")),
+        codec.encode_frame(
+            "dc:I", "ser:e0:sI",
+            LabelBatch(labels=(label, _label(13.0, "I:g1", "g0:b")))),
+        codec.encode_frame(
+            "dc:I", "dc:F", RemotePayload(label, "g0:a", 2, 10.25)),
+        codec.encode_frame("dc:F", "dc:T", BulkHeartbeat("F", 42.0)),
+        codec.encode_frame(
+            "dc:I", "dc:F",
+            ExplicitPayload(label, "g0:a", 2, 10.25,
+                            frozenset({("g0:b", (11.0, "I:g1")),
+                                       ("g0:c", (9.0, "I:g0"))}))),
+    ]
+
+
+# -- unit --------------------------------------------------------------------
+
+def test_scalar_and_container_round_trip():
+    values = [None, True, False, 0, -7, 1.5, "x", (),
+              (1, ("a", 2.5), None), frozenset({3, 1, 2}),
+              LabelType.HEARTBEAT, _label()]
+    for value in values:
+        assert codec.decode_value(codec.encode_value(value)) == value
+
+
+def test_frame_round_trip_preserves_addressing():
+    frame = codec.encode_frame("a", "b", ClientRead("c", "k"))
+    (length,) = codec.FRAME_HEADER.unpack(frame[:4])
+    src, dst, msg = codec.decode_frame_body(frame[4:4 + length])
+    assert (src, dst, msg) == ("a", "b", ClientRead("c", "k"))
+
+
+def test_encoding_is_canonical():
+    msg = ClientUpdate("w", "g0:a", 2, _label())
+    assert codec.encode_message(msg) == codec.encode_message(msg)
+    decoded = codec.decode_message(codec.encode_message(msg))
+    assert codec.encode_message(decoded) == codec.encode_message(msg)
+
+
+def test_frozenset_encoding_is_order_independent():
+    a = frozenset({("k1", 1.0), ("k2", 2.0), ("k3", 3.0)})
+    b = frozenset(reversed(sorted(a)))
+    assert codec.encode_message(a) == codec.encode_message(b)
+
+
+def test_mutable_containers_are_rejected():
+    for bad in ([1], {"k": 1}, {1, 2}, bytearray(b"x")):
+        with pytest.raises(codec.CodecError):
+            codec.encode_value(bad)
+
+
+def test_non_finite_floats_are_rejected():
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(codec.CodecError):
+            codec.encode_value(bad)
+
+
+def test_unregistered_dataclass_is_rejected():
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class NotWire:
+        x: int
+
+    with pytest.raises(codec.CodecError):
+        codec.encode_value(NotWire(1))
+    with pytest.raises(codec.CodecError):
+        codec.decode_value({"__d": ["NotWire", {"x": 1}]})
+
+
+def test_duplicate_registration_is_rejected():
+    with pytest.raises(codec.CodecError):
+        codec.register(Label)
+
+
+def test_malformed_bodies_are_codec_errors():
+    for bad in (b"\xff\xfe", b"not json", b'{"src": "a"}', b"[1,2]"):
+        with pytest.raises(codec.CodecError):
+            codec.decode_frame_body(bad)
+    with pytest.raises(codec.CodecError):
+        codec.decode_value({"__x": []})
+    with pytest.raises(codec.CodecError):
+        codec.decode_value([1, 2])
+
+
+# -- property: every registered message round-trips --------------------------
+
+st.register_type_strategy(
+    float, st.floats(allow_nan=False, allow_infinity=False))
+
+_MESSAGE_STRATEGY = st.one_of([
+    st.from_type(cls)
+    for _, cls in sorted(codec.registered_messages().items())
+])
+
+
+@settings(max_examples=200, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(message=_MESSAGE_STRATEGY)
+def test_every_registered_message_round_trips(message):
+    encoded = codec.encode_message(message)
+    decoded = codec.decode_message(encoded)
+    assert type(decoded) is type(message)
+    # canonical-byte equality is stronger than == (Label.__eq__ compares
+    # only (ts, src)); every field must survive
+    assert codec.encode_message(decoded) == encoded
+    assert decoded == message
+
+
+# -- golden bytes ------------------------------------------------------------
+
+def test_golden_frame_bytes_are_stable():
+    expected = [bytes.fromhex(line) for line in
+                GOLDEN.read_text(encoding="utf-8").split()]
+    actual = golden_frames()
+    assert len(actual) == len(expected)
+    for index, (got, want) in enumerate(zip(actual, expected)):
+        assert got == want, (
+            f"frame {index} drifted from the committed golden bytes — "
+            "this breaks wire compatibility between versions; if the "
+            "format change is deliberate, regenerate tests/net/golden/"
+            "frames.hex and say so loudly in the changelog")
+
+
+def test_golden_frames_still_decode():
+    for frame in golden_frames():
+        (length,) = codec.FRAME_HEADER.unpack(frame[:4])
+        src, dst, msg = codec.decode_frame_body(frame[4:])
+        assert length == len(frame) - 4
+        assert src and dst
+        assert codec.encode_frame(src, dst, msg) == frame

@@ -1,0 +1,81 @@
+"""ClusterSpec: chain construction, JSON round trip, derived views."""
+
+import json
+
+import pytest
+
+from repro.net.spec import (ClusterSpec, chain_dependencies,
+                            chain_smoke_spec, write_cluster)
+
+
+def test_chain3_reuses_the_mc_scenario_shape():
+    spec = chain_smoke_spec(3)
+    assert spec.sites == ["I", "F", "T"]
+    assert spec.groups == {"g0": ["I", "F", "T"], "g1": ["I", "F"]}
+    assert spec.edges == [("sI", "sF"), ("sF", "sT")]
+    assert spec.attachments == {"I": "sI", "F": "sF", "T": "sT"}
+    assert spec.scripted_updates() == [
+        ("I", "g0:a"), ("I", "g0:b"), ("I", "g1:p"), ("F", "g0:y")]
+
+
+def test_chain_dependencies_link_sessions_and_polls():
+    edges = chain_dependencies(chain_smoke_spec(3))
+    assert ("g0:a", "g0:b") in edges       # writer session order
+    assert ("g0:b", "g1:p") in edges
+    assert ("g0:b", "g0:y") in edges       # relay poll-then-update
+    assert ("g0:a", "g0:y") not in edges   # only direct edges
+
+
+def test_larger_chains_extend_site_and_key_names():
+    spec = chain_smoke_spec(5)
+    assert spec.sites == ["I", "F", "T", "D3", "D4"]
+    updates = [key for _, key in spec.scripted_updates()]
+    assert updates == ["g0:a", "g0:b", "g1:p", "g0:y", "g0:y2", "g0:y3"]
+    # still a chain: each relay waits for its predecessor
+    edges = chain_dependencies(spec)
+    assert ("g0:y", "g0:y2") in edges and ("g0:y2", "g0:y3") in edges
+
+
+def test_too_small_chain_is_rejected():
+    with pytest.raises(ValueError):
+        chain_smoke_spec(1)
+
+
+def test_json_round_trip_is_lossless():
+    spec = chain_smoke_spec(4)
+    clone = ClusterSpec.from_json(
+        json.loads(json.dumps(spec.to_json())))
+    assert clone == spec
+
+
+def test_derived_topology_and_replication_views():
+    spec = chain_smoke_spec(3)
+    topology = spec.topology()
+    assert topology.attachments["T"] == "sT"
+    replication = spec.replication()
+    assert replication.replicas("g1:p") == frozenset({"I", "F"})
+    assert replication.replicas("g0:a") == frozenset({"I", "F", "T"})
+
+
+def test_nodes_roster_covers_every_site_and_serializer():
+    roster = chain_smoke_spec(3).nodes()
+    assert sorted(roster) == ["dc-F", "dc-I", "dc-T",
+                              "ser-sF", "ser-sI", "ser-sT"]
+    assert roster["dc-I"]["processes"] == ["dc:I", "client:writer-I"]
+    assert roster["ser-sI"]["processes"] == ["ser:e0:sI"]
+
+
+def test_write_cluster_lays_out_per_node_config_dirs(tmp_path):
+    spec = chain_smoke_spec(3)
+    node_dirs = write_cluster(spec, tmp_path, "127.0.0.1", 4000,
+                              deadline_s=30.0)
+    assert sorted(node_dirs) == sorted(spec.nodes())
+    reloaded = ClusterSpec.load(tmp_path / "spec.json")
+    assert reloaded == spec
+    config = json.loads(
+        (node_dirs["dc-T"] / "node.json").read_text(encoding="utf-8"))
+    assert config["role"] == "dc" and config["target"] == "T"
+    assert config["directory"] == ["127.0.0.1", 4000]
+    assert config["deadline_s"] == 30.0
+    # the spec pointer resolves from inside the node dir
+    assert (node_dirs["dc-T"] / config["spec"]).resolve().exists()
