@@ -1,0 +1,20 @@
+"""repro.analysis.conc — whole-program async-concurrency audit.
+
+Static companion to the runtime sanitizers in
+:mod:`repro.net.sanitizers`: six CONCxxx rules over the arch call graph
+that catch the asyncio bugs the SAT determinism lint and the ARCH layer
+audit cannot see — event-loop stalls, dropped coroutines, await-point
+lost updates, lock-order deadlocks, swallowed cancellation, and leaked
+tasks.  Run as ``python -m repro.analysis.conc`` or
+``saturn-repro conc``.
+"""
+
+from repro.analysis.conc.audit import RULE_NAMES, run_conc_audit
+from repro.analysis.conc.report import ConcReport
+from repro.analysis.conc.rules import (
+    ALL_CONC_RULES, CONC_RULES_BY_CODE, ConcRule)
+
+__all__ = [
+    "run_conc_audit", "RULE_NAMES", "ConcReport",
+    "ALL_CONC_RULES", "CONC_RULES_BY_CODE", "ConcRule",
+]

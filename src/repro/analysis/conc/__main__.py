@@ -1,0 +1,80 @@
+"""CLI for the async-concurrency audit.
+
+Usage::
+
+    python -m repro.analysis.conc                 # audit the repro tree
+    python -m repro.analysis.conc --json
+    python -m repro.analysis.conc --rules CONC001,CONC005
+    python -m repro.analysis.conc path/to/pkg --package pkg
+
+Exit status: 0 when the audited tree is clean, 1 when there are findings,
+2 on usage errors.  With no explicit root, the installed ``repro``
+package tree is audited.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.conc.audit import RULE_NAMES, run_conc_audit
+from repro.analysis.conc.rules import ALL_CONC_RULES
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.conc",
+        description="Async-concurrency audit for the realtime transport "
+                    "path (CONCxxx).")
+    parser.add_argument(
+        "root", nargs="?", default=None,
+        help="package directory to audit (default: the installed repro "
+             "package tree)")
+    parser.add_argument(
+        "--package", default=None,
+        help="dotted package name of the root (default: the root "
+             "directory's name)")
+    parser.add_argument(
+        "--rules", default=",".join(RULE_NAMES),
+        help=f"comma-separated subset of {'/'.join(RULE_NAMES)} "
+             "(default: all)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable JSON report")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the CONC rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_CONC_RULES:
+            print(f"{rule.code}  {rule.title}")
+            print(f"    {rule.rationale}")
+        return 0
+
+    if args.root is not None:
+        root = Path(args.root)
+    else:
+        import repro
+        root = Path(repro.__file__).resolve().parent
+    if not root.is_dir():
+        print(f"error: audit root {root} is not a directory",
+              file=sys.stderr)
+        return 2
+
+    rules = tuple(r.strip().upper() for r in args.rules.split(",")
+                  if r.strip())
+    try:
+        report = run_conc_audit(root, package=args.package, rules=rules)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(report.to_json() if args.json else report.format_human())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Audit orchestrator: discover -> callgraph -> run the six rules -> filter.
+
+:func:`run_conc_audit` is the single programmatic entry point used by the
+CLI, the CI job, and the tests.  Unlike the arch audit it needs no
+contract file — the rules are universal asyncio hygiene, not
+project-specific layering — so pointing it at any package directory
+works.  Everything is AST-level; the audited code is never imported, so
+fixture trees full of deliberate bugs are safe to scan.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.arch.callgraph import build_callgraph
+from repro.analysis.arch.imports import build_graph, discover_modules
+from repro.analysis.arch.report import ArchFinding, filter_noqa
+from repro.analysis.conc.blocking import check_blocking
+from repro.analysis.conc.lifecycle import (
+    check_cancellation, check_fire_and_forget, check_task_lifecycle)
+from repro.analysis.conc.report import ConcReport
+from repro.analysis.conc.shared_state import (
+    check_await_atomicity, check_lock_order)
+
+__all__ = ["run_conc_audit", "RULE_NAMES"]
+
+_CHECKS = (
+    ("CONC001", check_blocking),
+    ("CONC002", check_fire_and_forget),
+    ("CONC003", check_await_atomicity),
+    ("CONC004", check_lock_order),
+    ("CONC005", check_cancellation),
+    ("CONC006", check_task_lifecycle),
+)
+
+RULE_NAMES: Tuple[str, ...] = tuple(code for code, _ in _CHECKS)
+
+
+def run_conc_audit(root: Path, package: Optional[str] = None,
+                   rules: Sequence[str] = RULE_NAMES) -> ConcReport:
+    """Audit the package tree rooted at *root*.
+
+    *root* is the package directory itself (e.g. ``src/repro``);
+    *package* is its dotted name, defaulting to ``root.name``.
+    """
+    unknown = set(rules) - set(RULE_NAMES)
+    if unknown:
+        raise ValueError(f"unknown rule(s): {sorted(unknown)}")
+    if package is None:
+        package = root.name
+    files = discover_modules(root, package)
+    graph = build_graph(files)
+
+    findings: List[ArchFinding] = []
+    for path, msg in graph.parse_errors:
+        findings.append(ArchFinding(
+            file=str(path), line=1, code="CONC000",
+            message=f"file could not be parsed: {msg}"))
+
+    callgraph = build_callgraph(graph)
+    for code, check in _CHECKS:
+        if code in rules:
+            findings.extend(check(graph, callgraph))
+
+    # the blocking BFS can reach one site from many entries and the
+    # lifecycle walks can revisit nodes — report each defect once
+    unique: Dict[Tuple[str, int, str, str], ArchFinding] = {}
+    for finding in findings:
+        key = (finding.file, finding.line, finding.code, finding.message)
+        unique.setdefault(key, finding)
+
+    sources = {str(m.path): m.source for m in graph.modules.values()}
+    report = ConcReport(
+        findings=filter_noqa(list(unique.values()), sources),
+        modules_checked=len(graph.modules),
+        async_functions=sum(
+            isinstance(fn.node, ast.AsyncFunctionDef)
+            for fn in callgraph.functions.values()),
+        rules_run=tuple(code for code in RULE_NAMES if code in rules),
+    )
+    return report.sorted()

@@ -1,0 +1,58 @@
+"""Aggregate report for the concurrency audit.
+
+Findings reuse :class:`repro.analysis.arch.report.ArchFinding` (same
+file/line/code/message/witness shape, same ``# noqa`` filtering), so any
+tooling that renders SAT or ARCH output renders CONC output unchanged.
+This module only adds the CONC-specific aggregate: which rules ran and
+how many ``async def`` entry points the blocking pass walked from.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.analysis.arch.report import ArchFinding
+
+__all__ = ["ConcReport"]
+
+
+@dataclass
+class ConcReport:
+    """Result of one :func:`repro.analysis.conc.run_conc_audit` run."""
+
+    findings: List[ArchFinding] = field(default_factory=list)
+    modules_checked: int = 0
+    async_functions: int = 0
+    rules_run: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def sorted(self) -> "ConcReport":
+        self.findings.sort(key=lambda f: (f.file, f.line, f.code, f.message))
+        return self
+
+    def format_human(self) -> str:
+        lines = [finding.format() for finding in self.findings]
+        noun = "module" if self.modules_checked == 1 else "modules"
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.modules_checked} "
+            f"{noun}, {self.async_functions} async def(s) "
+            f"({', '.join(self.rules_run)})")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "ok": self.ok,
+            "modules_checked": self.modules_checked,
+            "async_functions": self.async_functions,
+            "rules": list(self.rules_run),
+            "findings": [
+                {"file": f.file, "line": f.line, "code": f.code,
+                 "message": f.message, "witness": list(f.witness)}
+                for f in self.findings
+            ],
+        }, indent=2)

@@ -1,0 +1,121 @@
+"""Catalogue of the async-concurrency audit rules (CONCxxx).
+
+The auditor (:mod:`repro.analysis.conc`) is the static gate for the
+realtime transport path: PR 7's ``repro.net`` (asyncio TCP transport,
+``RealtimeKernel``, node directory) reintroduces genuine concurrency that
+neither the SAT determinism lint nor the ARCH layer audit inspects.
+Saturn's correctness argument leans on per-link FIFO delivery and
+serializers that never interleave label handling; each rule here names
+one way asyncio code can silently break that model — by stalling the
+event loop, dropping a coroutine on the floor, interleaving at an await
+point, ordering locks inconsistently, eating cancellation, or leaking
+tasks past shutdown.
+
+Codes follow the SAT/ARCH convention: suppress a deliberate exception
+with ``# noqa: CONC001`` on the offending line.  Detection logic lives in
+the sibling pass modules (:mod:`~repro.analysis.conc.blocking`,
+:mod:`~repro.analysis.conc.lifecycle`,
+:mod:`~repro.analysis.conc.shared_state`); this module only defines codes
+and rationale so reports, suppressions, and docs stay in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["ConcRule", "ALL_CONC_RULES", "CONC_RULES_BY_CODE"]
+
+
+@dataclass(frozen=True)
+class ConcRule:
+    """One concurrency rule: a stable code plus human-facing explanation."""
+
+    code: str
+    title: str
+    rationale: str
+
+
+ALL_CONC_RULES: Tuple[ConcRule, ...] = (
+    ConcRule(
+        code="CONC001",
+        title="blocking call reachable from a coroutine",
+        rationale=(
+            "time.sleep, synchronous socket/file/subprocess I/O, or "
+            "console input reached (transitively) from an async def stalls "
+            "the whole event loop: every peer connection, timer, and "
+            "heartbeat on the node freezes for the duration.  The finding "
+            "reports the full witness call chain from the coroutine to "
+            "the blocking call site.  Do the work before the loop starts, "
+            "or hand it to a thread via loop.run_in_executor."
+        ),
+    ),
+    ConcRule(
+        code="CONC002",
+        title="fire-and-forget coroutine or discarded task",
+        rationale=(
+            "Calling a coroutine function without awaiting it creates a "
+            "coroutine object that never runs; discarding the result of "
+            "create_task()/ensure_future() is subtler — the event loop "
+            "holds only a weak reference, so the garbage collector can "
+            "destroy the task mid-flight.  Either way the work silently "
+            "does not happen.  Await the call, or retain the task on an "
+            "attribute and cancel it on the close/stop path."
+        ),
+    ),
+    ConcRule(
+        code="CONC003",
+        title="read-modify-write of shared state across an await point",
+        rationale=(
+            "Between reading self-attached state and writing it back, an "
+            "await suspends the coroutine and any other coroutine of the "
+            "same object may run: the write clobbers whatever the "
+            "interleaved coroutine did (a lost update — the exact bug "
+            "class cooperative scheduling is supposed to prevent, "
+            "reintroduced by the await).  Hold an asyncio.Lock across the "
+            "read-modify-write, or restructure so the update is computed "
+            "and stored without suspending."
+        ),
+    ),
+    ConcRule(
+        code="CONC004",
+        title="inconsistent lock-acquisition order",
+        rationale=(
+            "If one coroutine acquires lock A then B while another "
+            "acquires B then A, a deadlock is one unlucky interleaving "
+            "away — each holds the lock the other awaits, forever, with "
+            "no thread preemption to break the tie.  Pick one global "
+            "order for every pair of locks and acquire in that order "
+            "everywhere."
+        ),
+    ),
+    ConcRule(
+        code="CONC005",
+        title="swallowed CancelledError around an await",
+        rationale=(
+            "A bare except:, except BaseException:, or except "
+            "CancelledError: that does not re-raise eats the cancellation "
+            "signal asyncio delivers at await points: task.cancel() "
+            "appears to succeed but the coroutine keeps running, and "
+            "graceful shutdown hangs on a task that can no longer be "
+            "stopped.  Re-raise after cleanup (a bare raise), or let the "
+            "exception propagate and clean up in a finally block."
+        ),
+    ),
+    ConcRule(
+        code="CONC006",
+        title="task or server is never cancelled on the close/stop path",
+        rationale=(
+            "A component that stores the result of create_task()/"
+            "start_server() on self but whose close/stop/shutdown methods "
+            "never touch that attribute leaks the task past its owner's "
+            "lifetime: shutdown leaves it running against torn-down "
+            "state, or the process exits with 'Task was destroyed but it "
+            "is pending!'.  Every spawned task needs an owner that "
+            "cancels and awaits it on the way down."
+        ),
+    ),
+)
+
+CONC_RULES_BY_CODE: Dict[str, ConcRule] = {
+    rule.code: rule for rule in ALL_CONC_RULES}

@@ -1,4 +1,4 @@
-"""AST lint enforcing the simulator's determinism contract (SAT001–SAT008).
+"""AST lint enforcing the simulator's determinism contract (SAT001–SAT009).
 
 The checks are deliberately repository-specific: they know that simulation
 code must read time from the simulated clock, draw randomness from
@@ -89,6 +89,11 @@ _TIEBREAK_NAME_RE = re.compile(
 #: of these filenames, or whose class name carries one of these suffixes
 _MESSAGE_MODULE_FILENAMES = {"messages.py"}
 _MESSAGE_CLASS_SUFFIXES = ("Payload", "Msg")
+
+#: asyncio functions banned outside the kernel seam (SAT009):
+#: get_event_loop silently binds an ambient loop, ensure_future drops the
+#: strong task reference
+_LOOP_MISUSE_FUNCS = {"get_event_loop", "ensure_future"}
 
 #: annotation identifiers that disqualify a field as wire plain data
 #: (SAT008): mutable containers, escape-hatch types, callables
@@ -221,8 +226,21 @@ class _Visitor(ast.NodeVisitor):
         self._check_global_random(node)
         self._check_call_materializes_set(node)
         self._check_heap_push(node)
+        self._check_event_loop_misuse(node)
         self._bless_safe_generators(node)
         self.generic_visit(node)
+
+    def _check_event_loop_misuse(self, node: ast.Call) -> None:
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "asyncio"
+                and func.attr in _LOOP_MISUSE_FUNCS):
+            self._report(node, "SAT009",
+                         f"asyncio.{func.attr}() outside the kernel seam; "
+                         "take the loop from RealtimeKernel "
+                         "(kernel.loop / kernel.create_task) or use "
+                         "asyncio.get_running_loop() in a coroutine")
 
     def _check_wall_clock(self, node: ast.Call) -> None:
         func = node.func
@@ -269,6 +287,14 @@ class _Visitor(ast.NodeVisitor):
                 self._report(node, "SAT002",
                              f"importing {', '.join(bad)} from random binds "
                              "the global RNG; use RngRegistry streams")
+        elif node.module == "asyncio":
+            bad = [a.name for a in node.names
+                   if a.name in _LOOP_MISUSE_FUNCS]
+            if bad:
+                self._report(node, "SAT009",
+                             f"importing {', '.join(bad)} from asyncio; "
+                             "loop acquisition belongs to the kernel seam "
+                             "(RealtimeKernel)")
         self.generic_visit(node)
 
     # -- SAT007: heap entries need a deterministic tie-breaker --------------

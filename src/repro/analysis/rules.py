@@ -110,6 +110,21 @@ ALL_RULES: Tuple[Rule, ...] = (
             "and can never alias mutable state between sender and receiver."
         ),
     ),
+    Rule(
+        code="SAT009",
+        title="event-loop acquisition outside the kernel seam",
+        rationale=(
+            "asyncio.get_event_loop() is deprecated outside a running loop "
+            "and silently binds whichever loop happens to be current — on "
+            "the realtime path every component must receive its loop (or "
+            "kernel) explicitly so loop ownership stays auditable.  Naked "
+            "asyncio.ensure_future() additionally drops the strong "
+            "reference the loop does not keep, recreating the CONC002 "
+            "footgun.  Use RealtimeKernel (kernel.loop / "
+            "kernel.create_task), or asyncio.get_running_loop() inside a "
+            "coroutine."
+        ),
+    ),
 )
 
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

@@ -11,6 +11,7 @@ Installed as the ``saturn-repro`` console script::
     saturn-repro faults --list             # scripted chaos scenarios
     saturn-repro obs --pair T S            # per-edge visibility breakdown
     saturn-repro arch                      # architecture audit (ARCHxxx)
+    saturn-repro conc                      # concurrency audit (CONCxxx)
     saturn-repro net run --dcs 3           # real asyncio TCP cluster
 """
 
@@ -106,6 +107,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="arguments forwarded to "
                            "python -m repro.analysis.arch")
 
+    conc = sub.add_parser(
+        "conc", help="async-concurrency audit (repro.analysis.conc)",
+        add_help=False)
+    conc.add_argument("conc_args", nargs=argparse.REMAINDER,
+                      help="arguments forwarded to "
+                           "python -m repro.analysis.conc")
+
     net = sub.add_parser(
         "net", help="real asyncio TCP cluster over localhost (repro.net)",
         add_help=False)
@@ -162,6 +170,9 @@ def main(argv: Optional[list] = None) -> int:
     if argv and argv[0] == "arch":
         from repro.analysis.arch.__main__ import main as arch_main
         return arch_main(list(argv[1:]))
+    if argv and argv[0] == "conc":
+        from repro.analysis.conc.__main__ import main as conc_main
+        return conc_main(list(argv[1:]))
     if argv and argv[0] == "net":
         from repro.net.cli import main as net_main
         return net_main(list(argv[1:]))

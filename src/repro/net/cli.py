@@ -120,7 +120,9 @@ def _run(args: argparse.Namespace) -> int:
 
         # 2. per-node config dirs, then one OS process per node
         node_dirs = write_cluster(spec, cluster_dir, host, port,
-                                  deadline_s=args.timeout)
+                                  deadline_s=args.timeout,
+                                  sanitize=args.sanitize,
+                                  stall_ms=args.stall_ms)
         for node, node_dir in sorted(node_dirs.items()):
             proc, fh = _spawn(
                 [sys.executable, "-m", "repro.net.node",
@@ -172,9 +174,25 @@ def _run(args: argparse.Namespace) -> int:
         # 5. causal checks over the logs the nodes left behind
         result = check_cluster(cluster_dir)
         outcome["check"] = result.to_json()
+
+        # 6. sanitizer verdicts (only when the run asked for them)
+        sanitizers_ok = True
+        if args.sanitize:
+            verdicts: Dict[str, Any] = {}
+            for node, node_dir in sorted(node_dirs.items()):
+                report_path = node_dir / "sanitizers.json"
+                if report_path.is_file():
+                    verdicts[node] = json.loads(
+                        report_path.read_text(encoding="utf-8"))
+                else:
+                    verdicts[node] = {"ok": False,
+                                      "error": "missing sanitizers.json"}
+            outcome["sanitizers"] = verdicts
+            sanitizers_ok = all(v.get("ok") for v in verdicts.values())
+
         if not clean:
             exit_code = 2
-        elif not result.ok:
+        elif not result.ok or not sanitizers_ok:
             exit_code = 1
         else:
             exit_code = 0
@@ -203,6 +221,18 @@ def _summarize(outcome: Dict[str, Any]) -> None:
         unclean = {n: c for n, c in outcome["node_exits"].items() if c != 0}
         if unclean:
             print(f"net: unclean node exits: {unclean}")
+    sanitizers = outcome.get("sanitizers")
+    if sanitizers is not None:
+        dirty = {node: report for node, report in sanitizers.items()
+                 if not report.get("ok")}
+        for node, report in sorted(dirty.items()):
+            detail = report.get("error") or (
+                f"stalls={len(report.get('stalls', []))}, "
+                f"reentrancy={len(report.get('reentrancy', []))}, "
+                f"leaks={len(report.get('task_leaks', []))}")
+            print(f"net: SANITIZER {node}: {detail}")
+        if not dirty:
+            print(f"net: sanitizers clean on all {len(sanitizers)} nodes")
     if check is not None:
         for problem in check["problems"]:
             print(f"net: VIOLATION {problem}")
@@ -240,6 +270,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                      help="workload deadline in seconds (default 60)")
     run.add_argument("--poll-cap", type=int, default=2000,
                      help="max re-reads per client poll step")
+    run.add_argument("--sanitize", action="store_true",
+                     help="enable runtime sanitizers on every node "
+                          "(stall watchdog, reentrancy check, task-leak "
+                          "check); violations fail the run")
+    run.add_argument("--stall-ms", type=float, default=250.0,
+                     help="event-loop stall threshold in ms "
+                          "(default 250)")
     run.add_argument("--json", action="store_true",
                      help="print the outcome as JSON")
     run.set_defaults(func=_run)

@@ -145,10 +145,13 @@ class DirectoryServer:
         await self.stop()
 
     async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        # swap before the await: serve_until_shutdown and an external
+        # stop() can race, and both must see either the live server or
+        # None — never a closed-but-still-recorded one (CONC003)
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
         self._persist()
 
 

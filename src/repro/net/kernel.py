@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Callable, Optional
+from typing import Any, Callable, Coroutine, Optional
 
 __all__ = ["RealtimeKernel", "RealtimeTimer"]
 
@@ -50,7 +50,8 @@ class RealtimeKernel:
 
     def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None
                  ) -> None:
-        self._loop = loop or asyncio.get_event_loop()
+        self._loop = (loop if loop is not None
+                      else asyncio.get_running_loop())
         # wall-anchored monotonic time: epoch base read once, advanced by
         # the monotonic clock so host NTP steps cannot run time backwards
         self._epoch_ms = time.time() * 1000.0  # noqa: SAT001 - realtime kernel: below the determinism boundary
@@ -61,10 +62,26 @@ class RealtimeKernel:
         #: code hold either kernel)
         self.last_seq = -1
         self.events_executed = 0
+        #: optional repro.net.sanitizers.NetSanitizer; when set, every
+        #: scheduled callback runs through it (stall watchdog)
+        self.sanitizer: Optional[Any] = None
+        #: strong refs to spawned tasks (the loop itself keeps only weak
+        #: ones); each task removes itself when done so finished tasks do
+        #: not accumulate
+        self._tasks: set = set()
 
     @property
     def loop(self) -> asyncio.AbstractEventLoop:
         return self._loop
+
+    def create_task(self, coro: Coroutine[Any, Any, Any],
+                    name: Optional[str] = None) -> asyncio.Task:
+        """Spawn a task on the kernel's loop, retaining a reference so it
+        cannot be garbage-collected mid-flight (the CONC002 footgun)."""
+        task = self._loop.create_task(coro, name=name)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
 
     @property
     def now(self) -> float:
@@ -81,7 +98,11 @@ class RealtimeKernel:
 
         def _fire() -> None:
             self.events_executed += 1
-            callback()
+            san = self.sanitizer
+            if san is None:
+                callback()
+            else:
+                san.run_callback(callback)
 
         return RealtimeTimer(self._loop.call_later(delay / 1000.0, _fire))
 

@@ -32,6 +32,7 @@ from repro.datacenter.client import ClientProcess
 from repro.datacenter.datacenter import DatacenterParams, SaturnDatacenter
 from repro.net.directory import request_async
 from repro.net.kernel import RealtimeKernel
+from repro.net.sanitizers import NetSanitizer
 from repro.net.spec import ClusterSpec
 from repro.net.tcp import TcpTransport
 from repro.sim.clock import PhysicalClock
@@ -73,8 +74,11 @@ class NetRecorder:
     event to ``visibility.jsonl`` (the artifact the driver's causal
     checker and the CI job read)."""
 
-    def __init__(self, path: Path, kernel: RealtimeKernel) -> None:
-        self._fh = open(path, "a", encoding="utf-8", buffering=1)
+    def __init__(self, fh: Any, kernel: RealtimeKernel) -> None:
+        # the caller opens the file (before the event loop starts — a
+        # sync open() on the async boot path would be a CONC001 stall)
+        # and hands ownership over; close() closes it
+        self._fh = fh
         self._kernel = kernel
         #: first-occurrence order of (origin, key) pairs visible locally
         self.visible_pairs: List[Tuple[str, str]] = []
@@ -178,8 +182,18 @@ class NodeRuntime:
         self.directory: Tuple[str, int] = (config["directory"][0],
                                            int(config["directory"][1]))
         self.deadline_s: float = float(config.get("deadline_s", 120.0))
+        sanitize = config.get("sanitize") or {}
+        self.sanitize_enabled: bool = bool(sanitize.get("enabled", False))
+        self.stall_ms: float = float(sanitize.get("stall_ms", 250.0))
         self.spec = ClusterSpec.load(
             (self.node_dir / config["spec"]).resolve())
+        #: visibility sink, opened here (sync context) so the async boot
+        #: path never touches blocking file I/O
+        self._visibility_fh: Optional[Any] = None
+        if self.role != "serializer":
+            self._visibility_fh = open(
+                self.node_dir / "visibility.jsonl", "a",
+                encoding="utf-8", buffering=1)
         self.kernel: Optional[RealtimeKernel] = None
         self.transport: Optional[TcpTransport] = None
         self.recorder: Optional[NetRecorder] = None
@@ -238,8 +252,7 @@ class NodeRuntime:
                 local_hop_latency=0.0)
             self.serializer.attach_network(self.transport)
             return
-        recorder = NetRecorder(self.node_dir / "visibility.jsonl",
-                               self.kernel)
+        recorder = NetRecorder(self._visibility_fh, self.kernel)
         self.recorder = recorder
         params = DatacenterParams(
             name=self.target, site=self.target, consistency="saturn",
@@ -285,6 +298,14 @@ class NodeRuntime:
         started = self.kernel.now
         deadline = started + self.deadline_s * 1000.0
         self.transport = TcpTransport(self.kernel, self.node_name)
+        sanitizer: Optional[NetSanitizer] = None
+        if self.sanitize_enabled:
+            sanitizer = NetSanitizer(stall_ms=self.stall_ms)
+            self.kernel.sanitizer = sanitizer
+            self.transport.sanitizer = sanitizer
+            sanitizer.start(self.kernel)
+            print(f"[{self.node_name}] sanitizers on "
+                  f"(stall_ms={self.stall_ms:g})", flush=True)
         host, port = await self.transport.start()
         print(f"[{self.node_name}] listening on {host}:{port}", flush=True)
         try:
@@ -322,7 +343,20 @@ class NodeRuntime:
         finally:
             if self.recorder is not None:
                 self.recorder.close()
+            elif self._visibility_fh is not None:
+                self._visibility_fh.close()
+            if sanitizer is not None:
+                await sanitizer.stop()
             await self.transport.stop()
+            if sanitizer is not None:
+                # only after every owned task is down is a survivor a leak
+                sanitizer.check_task_leaks()
+                sanitizer.write(self.node_dir / "sanitizers.json")
+                verdict = "clean" if sanitizer.ok else "violations"
+                print(f"[{self.node_name}] sanitizers: {verdict} "
+                      f"(stalls={len(sanitizer.stalls)}, "
+                      f"reentrancy={len(sanitizer.reentrancy)}, "
+                      f"leaks={len(sanitizer.task_leaks)})", flush=True)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

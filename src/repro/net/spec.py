@@ -217,7 +217,8 @@ def chain_dependencies(spec: ClusterSpec) -> List[Tuple[str, str]]:
 
 def write_cluster(spec: ClusterSpec, cluster_dir: Path,
                   directory_host: str, directory_port: int,
-                  deadline_s: float = 120.0) -> Dict[str, Path]:
+                  deadline_s: float = 120.0, sanitize: bool = False,
+                  stall_ms: float = 250.0) -> Dict[str, Path]:
     """Write ``spec.json`` + per-node config dirs; returns node -> dir."""
     cluster_dir.mkdir(parents=True, exist_ok=True)
     spec.save(cluster_dir / "spec.json")
@@ -233,6 +234,7 @@ def write_cluster(spec: ClusterSpec, cluster_dir: Path,
             "directory": [directory_host, directory_port],
             "spec": "../spec.json",
             "deadline_s": deadline_s,
+            "sanitize": {"enabled": sanitize, "stall_ms": stall_ms},
         }
         (node_dir / "node.json").write_text(
             json.dumps(config, sort_keys=True, indent=2), encoding="utf-8")

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import asyncio
 import logging
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.net import codec
 from repro.net.kernel import RealtimeKernel
@@ -32,9 +32,22 @@ __all__ = ["TcpTransport"]
 
 log = logging.getLogger("repro.net.tcp")
 
-#: reconnect schedule for a peer whose node is not accepting yet (seconds)
-_CONNECT_RETRY_S = 0.05
-_CONNECT_ATTEMPTS = 100
+#: reconnect schedule for a peer whose node is not accepting yet:
+#: exponential backoff from base, capped (seconds)
+_CONNECT_RETRY_BASE_S = 0.05
+_CONNECT_RETRY_CAP_S = 0.5
+_CONNECT_ATTEMPTS = 30
+#: log a warning every N failed attempts so a dead peer is visible in
+#: the node log long before the final OSError
+_CONNECT_LOG_EVERY = 5
+
+
+def _backoff_schedule() -> Iterator[float]:
+    """Capped exponential backoff delays: 0.05, 0.1, 0.2, ..., cap."""
+    delay = _CONNECT_RETRY_BASE_S
+    while True:
+        yield delay
+        delay = min(delay * 2.0, _CONNECT_RETRY_CAP_S)
 
 
 class _Peer:
@@ -47,37 +60,53 @@ class _Peer:
         self.port = port
         self._transport = transport
         self._queue: asyncio.Queue = asyncio.Queue()
-        self._task = transport.kernel.loop.create_task(self._run())
+        self._task = transport.kernel.create_task(
+            self._run(), name=f"peer:{node}")
 
     def enqueue(self, frame: bytes) -> None:
         self._queue.put_nowait(frame)
 
+    async def _connect(self) -> asyncio.StreamWriter:
+        """Dial the peer with capped exponential backoff."""
+        backoff = _backoff_schedule()
+        last_error: Optional[OSError] = None
+        for attempt in range(1, _CONNECT_ATTEMPTS + 1):
+            try:
+                _, writer = await asyncio.open_connection(
+                    self.host, self.port)
+                if attempt > 1:
+                    log.info("peer %s (%s:%s) accepted on attempt %d",
+                             self.node, self.host, self.port, attempt)
+                return writer
+            except OSError as exc:
+                last_error = exc
+                if attempt % _CONNECT_LOG_EVERY == 0:
+                    log.warning(
+                        "peer %s (%s:%s) still unreachable after %d "
+                        "attempts: %s", self.node, self.host, self.port,
+                        attempt, exc)
+                await asyncio.sleep(next(backoff))
+        raise OSError(
+            f"peer node {self.node!r} at {self.host}:{self.port} never "
+            f"accepted a connection ({_CONNECT_ATTEMPTS} attempts; last "
+            f"error: {last_error})")
+
     async def _run(self) -> None:
         writer = None
         try:
-            for attempt in range(_CONNECT_ATTEMPTS):
-                try:
-                    _, writer = await asyncio.open_connection(
-                        self.host, self.port)
-                    break
-                except OSError:
-                    await asyncio.sleep(_CONNECT_RETRY_S)
-            else:
-                raise OSError(
-                    f"peer node {self.node!r} at {self.host}:{self.port} "
-                    f"never accepted a connection")
+            writer = await self._connect()
             while True:
                 frame = await self._queue.get()
                 writer.write(frame)
                 if self._queue.empty():
                     await writer.drain()
-        except asyncio.CancelledError:
-            pass
         except (OSError, ConnectionError) as exc:
             log.error("peer %s (%s:%s) failed: %s",
                       self.node, self.host, self.port, exc)
             self._transport.peer_errors += 1
         finally:
+            # CancelledError (the normal close path) propagates through
+            # here untouched — swallowing it would break shutdown (CONC005)
             if writer is not None:
                 writer.close()
 
@@ -86,7 +115,8 @@ class _Peer:
         try:
             await self._task
         except asyncio.CancelledError:
-            pass
+            if not self._task.cancelled():
+                raise  # cancelled *us*, not the writer task
 
 
 class TcpTransport:
@@ -106,6 +136,11 @@ class TcpTransport:
         self._addresses: Dict[str, Tuple[str, int]] = {}  # node -> addr
         self._peers: Dict[str, _Peer] = {}
         self._sites: Dict[str, str] = {}
+        #: inbound connection-handler tasks; asyncio's Server.wait_closed
+        #: does not cancel handlers, so stop() must (CONC006 by hand)
+        self._conn_tasks: Set[asyncio.Task] = set()
+        #: optional repro.net.sanitizers.NetSanitizer (reentrancy check)
+        self.sanitizer: Optional[Any] = None
         self.messages_sent = 0
         self.bytes_sent = 0
         self.frames_received = 0
@@ -121,13 +156,20 @@ class TcpTransport:
         return self.host, self.port
 
     async def stop(self) -> None:
-        for peer in list(self._peers.values()):
+        # swap state out before the first await so a concurrent stop()
+        # sees empty maps instead of half-torn-down ones (CONC003)
+        peers, self._peers = dict(self._peers), {}
+        server, self._server = self._server, None
+        conn_tasks, self._conn_tasks = set(self._conn_tasks), set()
+        for _, peer in sorted(peers.items()):
             await peer.close()
-        self._peers.clear()
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        for task in conn_tasks:
+            task.cancel()
+        if conn_tasks:
+            await asyncio.gather(*conn_tasks, return_exceptions=True)
 
     # -- Transport protocol ------------------------------------------------
 
@@ -146,17 +188,24 @@ class TcpTransport:
 
     def send(self, src: str, dst: str, message: Any,
              size_bytes: int = 0) -> None:
-        self.messages_sent += 1
-        local = self._local.get(dst)
-        if local is not None:
-            self._deliver_soon(local, src, message)
-            return
-        node = self._routes.get(dst)
-        if node is None:
-            raise KeyError(f"unknown destination process {dst!r}")
-        frame = codec.encode_frame(src, dst, message)
-        self.bytes_sent += len(frame)
-        self._peer_for(node).enqueue(frame)
+        san = self.sanitizer
+        if san is not None:
+            san.enter_send()
+        try:
+            self.messages_sent += 1
+            local = self._local.get(dst)
+            if local is not None:
+                self._deliver_soon(local, src, message)
+                return
+            node = self._routes.get(dst)
+            if node is None:
+                raise KeyError(f"unknown destination process {dst!r}")
+            frame = codec.encode_frame(src, dst, message)
+            self.bytes_sent += len(frame)
+            self._peer_for(node).enqueue(frame)
+        finally:
+            if san is not None:
+                san.exit_send()
 
     # -- routing -----------------------------------------------------------
 
@@ -185,10 +234,19 @@ class TcpTransport:
     def _deliver_soon(self, process: Any, src: str, message: Any) -> None:
         # via the kernel, not a direct call: delivery must never re-enter
         # the sender's stack (same discipline as the sim Network)
-        self.kernel.schedule(0.0, lambda: process.deliver(src, message))
+        san = self.sanitizer
+        if san is None:
+            self.kernel.schedule(
+                0.0, lambda: process.deliver(src, message))
+        else:
+            self.kernel.schedule(
+                0.0, lambda: san.deliver(process, src, message))
 
     async def _serve_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         try:
             while True:
                 header = await reader.readexactly(codec.FRAME_HEADER.size)
@@ -211,4 +269,6 @@ class TcpTransport:
             log.error("dropping connection on codec error: %s", exc)
             self.peer_errors += 1
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
             writer.close()

@@ -1,0 +1,69 @@
+"""Clean fixture: the correct counterpart of every seeded violation.
+
+Every pattern a CONCxxx rule bans appears here in its fixed form, so a
+false positive in any pass fails the clean-fixture test.
+"""
+
+import asyncio
+
+
+def prepare():
+    return "ready"  # no blocking work on the async path (CONC001)
+
+
+class Service:
+    def __init__(self, lock_a, lock_b):
+        self.lock_a = lock_a
+        self.lock_b = lock_b
+        self.value = 0
+        self._task = None
+
+    async def start(self):
+        prepare()
+        # retained on self and cancelled in stop() (CONC002 / CONC006)
+        self._task = asyncio.create_task(self.run_forever())
+
+    async def run_forever(self):
+        while True:
+            await asyncio.sleep(1)
+
+    async def bump(self):
+        # the read-modify-write holds the lock across the await (CONC003)
+        async with self.lock_a:
+            current = self.value
+            await asyncio.sleep(0)
+            self.value = current + 1
+
+    async def nested(self):
+        # same order as bump's callers everywhere (CONC004)
+        async with self.lock_a:
+            async with self.lock_b:
+                self.value += 1
+
+    async def also_nested(self):
+        async with self.lock_a:
+            async with self.lock_b:
+                return self.value
+
+    async def wait_quietly(self):
+        try:
+            await asyncio.sleep(0)
+        except asyncio.CancelledError:
+            raise  # cancellation propagates after cleanup (CONC005)
+
+    async def stop(self):
+        task, self._task = self._task, None
+        if task is None:
+            return
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            if not task.cancelled():
+                raise
+
+
+async def main(service):
+    await service.start()
+    await service.bump()
+    await service.stop()

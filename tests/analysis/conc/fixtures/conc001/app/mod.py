@@ -1,0 +1,12 @@
+"""Seeded CONC001: a blocking sleep two hops below a coroutine."""
+
+import time
+
+
+def prepare():
+    time.sleep(0.01)
+
+
+async def handle():
+    prepare()
+    return "handled"

@@ -1,0 +1,10 @@
+"""Seeded CONC002: a coroutine called but never awaited."""
+
+
+async def work():
+    return None
+
+
+async def main():
+    work()
+    return "done"

@@ -1,0 +1,13 @@
+"""Seeded CONC003: read-modify-write of self state spanning an await."""
+
+import asyncio
+
+
+class Counter:
+    def __init__(self):
+        self.value = 0
+
+    async def bump(self):
+        current = self.value
+        await asyncio.sleep(0)
+        self.value = current + 1

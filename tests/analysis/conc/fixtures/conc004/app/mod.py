@@ -1,0 +1,18 @@
+"""Seeded CONC004: the same two locks acquired in opposite orders."""
+
+
+class Shared:
+    def __init__(self, lock_a, lock_b):
+        self.lock_a = lock_a
+        self.lock_b = lock_b
+        self.hits = 0
+
+    async def forward(self):
+        async with self.lock_a:
+            async with self.lock_b:
+                self.hits += 1
+
+    async def backward(self):
+        async with self.lock_b:
+            async with self.lock_a:
+                self.hits += 1

@@ -1,0 +1,10 @@
+"""Seeded CONC005: CancelledError swallowed around an await."""
+
+import asyncio
+
+
+async def pump():
+    try:
+        await asyncio.sleep(0)
+    except asyncio.CancelledError:
+        pass

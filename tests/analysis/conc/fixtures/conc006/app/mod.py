@@ -1,0 +1,15 @@
+"""Seeded CONC006: a task spawned onto self with no closer touching it."""
+
+import asyncio
+
+
+class Pump:
+    def __init__(self):
+        self._task = None
+
+    async def run_forever(self):
+        while True:
+            await asyncio.sleep(1)
+
+    def start(self):
+        self._task = asyncio.create_task(self.run_forever())

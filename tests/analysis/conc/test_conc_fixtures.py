@@ -1,0 +1,97 @@
+"""The concurrency auditor: each seeded-violation fixture trips exactly
+one finding with the expected CONC code, and the clean fixture (which
+exercises the *correct* form of every banned pattern) stays clean."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.conc import RULE_NAMES, run_conc_audit
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture directory == expected code; plus a message fragment to pin
+SEEDED = {
+    "conc001": "time.sleep",
+    "conc002": "app.mod:work",
+    "conc003": "self.value",
+    "conc004": "self.lock_a",
+    "conc005": "except asyncio.CancelledError",
+    "conc006": "Pump._task",
+}
+
+
+def audit(name, **kwargs):
+    return run_conc_audit(FIXTURES / name / "app", **kwargs)
+
+
+@pytest.mark.parametrize("name", sorted(SEEDED))
+def test_seeded_fixture_trips_exactly_one_finding(name):
+    report = audit(name)
+    assert len(report.findings) == 1, report.format_human()
+    finding = report.findings[0]
+    assert finding.code == name.upper()
+    assert SEEDED[name] in finding.message
+
+
+def test_clean_fixture_is_clean():
+    report = audit("clean")
+    assert report.ok, report.format_human()
+    assert report.rules_run == RULE_NAMES
+    assert report.async_functions >= 7
+
+
+def test_blocking_witness_reports_the_full_call_chain():
+    report = audit("conc001")
+    (finding,) = report.findings
+    witness = "\n".join(finding.witness)
+    entry = witness.index("app.mod:handle")
+    hop = witness.index("app.mod:prepare")
+    leak = witness.index("calls time.sleep")
+    assert entry < hop < leak
+
+
+def test_atomicity_witness_orders_read_await_write():
+    report = audit("conc003")
+    (finding,) = report.findings
+    assert len(finding.witness) == 3
+    read, suspend, write = finding.witness
+    assert "reads self.value" in read
+    assert "suspends" in suspend
+    assert "writes self.value" in write
+
+
+def test_lock_order_witness_names_both_sites():
+    report = audit("conc004")
+    (finding,) = report.findings
+    assert len(finding.witness) == 2
+    assert "while holding self.lock_a" in finding.witness[0]
+    assert "while holding self.lock_b" in finding.witness[1]
+
+
+def test_rules_can_run_individually():
+    root = FIXTURES / "conc005" / "app"
+    assert run_conc_audit(root, rules=("CONC001",)).ok
+    only = run_conc_audit(root, rules=("CONC005",))
+    assert [f.code for f in only.findings] == ["CONC005"]
+    assert only.rules_run == ("CONC005",)
+    with pytest.raises(ValueError):
+        run_conc_audit(root, rules=("CONC999",))
+
+
+@pytest.mark.parametrize("name", sorted(SEEDED))
+def test_noqa_suppresses_each_seeded_finding(name, tmp_path):
+    src_dir = FIXTURES / name / "app"
+    report = audit(name)
+    (finding,) = report.findings
+    bad_line = finding.line
+    dst_dir = tmp_path / "app"
+    dst_dir.mkdir()
+    for item in src_dir.iterdir():
+        text = item.read_text(encoding="utf-8")
+        if item.name == "mod.py":
+            lines = text.splitlines()
+            lines[bad_line - 1] += f"  # noqa: {name.upper()}"
+            text = "\n".join(lines) + "\n"
+        (dst_dir / item.name).write_text(text, encoding="utf-8")
+    assert run_conc_audit(dst_dir).ok

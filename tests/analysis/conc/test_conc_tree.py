@@ -1,0 +1,68 @@
+"""Tier-1 pin: the repro tree itself is concurrency-clean, and the CLI
+contract (exit codes, JSON shape, rule listing) holds."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.analysis.conc import ALL_CONC_RULES, RULE_NAMES, run_conc_audit
+from repro.analysis.conc.__main__ import main
+
+REPRO_ROOT = Path(repro.__file__).resolve().parent
+
+
+def test_repro_tree_has_no_concurrency_findings():
+    report = run_conc_audit(REPRO_ROOT, package="repro")
+    assert report.ok, report.format_human()
+    assert report.modules_checked > 100
+    # the net stack alone guarantees a population of coroutines to audit
+    assert report.async_functions >= 10
+
+
+def test_rule_catalogue_is_complete():
+    assert tuple(rule.code for rule in ALL_CONC_RULES) == RULE_NAMES == (
+        "CONC001", "CONC002", "CONC003", "CONC004", "CONC005", "CONC006")
+    for rule in ALL_CONC_RULES:
+        assert rule.title and rule.rationale
+
+
+def test_cli_clean_tree_exits_zero(capsys):
+    assert main([]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_json_output_is_machine_readable(capsys):
+    assert main(["--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["rules"] == list(RULE_NAMES)
+    assert payload["findings"] == []
+
+
+def test_cli_dirty_fixture_exits_one(capsys):
+    fixture = Path(__file__).parent / "fixtures" / "conc001" / "app"
+    assert main([str(fixture)]) == 1
+    assert "CONC001" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_rules(capsys):
+    assert main(["--rules", "CONC042"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in RULE_NAMES:
+        assert code in out
+
+
+def test_module_is_invocable_as_a_script():
+    fixture = Path(__file__).parent / "fixtures" / "conc005" / "app"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis.conc", str(fixture)],
+        capture_output=True, text=True)
+    assert proc.returncode == 1
+    assert "CONC005" in proc.stdout

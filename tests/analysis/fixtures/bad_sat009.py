@@ -1,0 +1,23 @@
+"""Fixture: event-loop acquisition outside the kernel seam (SAT009)."""
+
+import asyncio
+
+
+def ambient_loop():
+    return asyncio.get_event_loop()
+
+
+def naked_spawn(coro):
+    return asyncio.ensure_future(coro)
+
+
+async def good_running_loop():
+    return asyncio.get_running_loop()
+
+
+def good_kernel_seam(kernel, coro):
+    return kernel.create_task(coro)
+
+
+def suppressed():
+    return asyncio.get_event_loop()  # noqa: SAT009

@@ -27,7 +27,7 @@ def codes_in(findings):
 def test_rule_catalogue_is_complete():
     assert [rule.code for rule in ALL_RULES] == [
         "SAT001", "SAT002", "SAT003", "SAT004", "SAT005", "SAT006",
-        "SAT007", "SAT008"]
+        "SAT007", "SAT008", "SAT009"]
     for rule in ALL_RULES:
         assert rule.title and rule.rationale
 
@@ -100,6 +100,19 @@ def test_sat008_only_applies_to_wire_message_classes():
               "    values: dict\n")
     assert lint_source(source, filename="config.py") == []
     assert codes_in(lint_source(source, filename="messages.py")) == {"SAT008"}
+
+
+def test_bad_sat009_finds_both_misuses_and_respects_noqa():
+    report = lint_paths([FIXTURES / "bad_sat009.py"])
+    sat009 = [f for f in report.findings if f.code == "SAT009"]
+    assert len(sat009) == 2  # get_event_loop + ensure_future, noqa'd one out
+    assert report.findings == sat009  # the good patterns stay silent
+
+
+def test_sat009_flags_the_import_form():
+    source = "from asyncio import get_event_loop\n"
+    assert codes_in(lint_source(source)) == {"SAT009"}
+    assert lint_source("from asyncio import get_running_loop\n") == []
 
 
 def test_clean_fixture_has_no_findings():

@@ -84,7 +84,8 @@ def test_recorder_writes_canonical_jsonl_and_tracks_first_visibility(
 
     async def main():
         kernel = RealtimeKernel(asyncio.get_running_loop())
-        recorder = NetRecorder(path, kernel)
+        recorder = NetRecorder(
+            open(path, "a", encoding="utf-8", buffering=1), kernel)
         recorder.record_update(_label("g0:a"), "I", created_at=1.0)
         recorder.record_visible(_label("g0:a"), "F", at=2.0)
         recorder.record_visible(_label("g0:a"), "F", at=3.0)  # duplicate
@@ -114,7 +115,9 @@ def test_recorder_writes_canonical_jsonl_and_tracks_first_visibility(
 def test_recorder_visible_pairs_are_first_occurrence_order(tmp_path):
     async def main():
         kernel = RealtimeKernel(asyncio.get_running_loop())
-        recorder = NetRecorder(tmp_path / "v.jsonl", kernel)
+        recorder = NetRecorder(
+            open(tmp_path / "v.jsonl", "a", encoding="utf-8", buffering=1),
+            kernel)
         recorder.record_update(_label("g0:a"), "I", created_at=1.0)
         recorder.record_visible(_label("g0:b", ts=2.0), "I", at=2.0)
         recorder.record_visible(_label("g0:a", ts=3.0), "I", at=3.0)

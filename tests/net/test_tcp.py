@@ -5,12 +5,15 @@ the frames still travel through real localhost sockets.
 """
 
 import asyncio
+import itertools
+import logging
 
 import pytest
 
 from repro.datacenter.messages import Ping, Pong
+from repro.net import tcp
 from repro.net.kernel import RealtimeKernel
-from repro.net.tcp import TcpTransport
+from repro.net.tcp import TcpTransport, _backoff_schedule
 
 
 class Recorder:
@@ -108,6 +111,42 @@ def test_duplicate_register_and_unknown_destination():
         finally:
             await a.stop()
             await b.stop()
+    asyncio.run(main())
+
+
+def test_backoff_schedule_doubles_up_to_the_cap():
+    delays = list(itertools.islice(_backoff_schedule(), 8))
+    assert delays == [0.05, 0.1, 0.2, 0.4, 0.5, 0.5, 0.5, 0.5]
+
+
+def test_unreachable_peer_logs_and_counts_an_error(monkeypatch, caplog):
+    # shrink the schedule so the retry loop exhausts in milliseconds
+    monkeypatch.setattr(tcp, "_CONNECT_ATTEMPTS", 6)
+    monkeypatch.setattr(tcp, "_CONNECT_RETRY_BASE_S", 0.001)
+    monkeypatch.setattr(tcp, "_CONNECT_RETRY_CAP_S", 0.002)
+
+    async def main():
+        kernel = RealtimeKernel(asyncio.get_running_loop())
+        a = TcpTransport(kernel, "node-a")
+        await a.start()
+        # an address nobody listens on: bind-then-close to claim a port
+        server = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+        dead_port = server.sockets[0].getsockname()[1]
+        server.close()
+        await server.wait_closed()
+        a.set_routes({"actor:gone": "node-gone"},
+                     {"node-a": (a.host, a.port),
+                      "node-gone": ("127.0.0.1", dead_port)})
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro.net.tcp"):
+                a.send("actor:a", "actor:gone", Pong(seq=1))
+                await _drain_until(lambda: a.peer_errors == 1)
+            assert any("still unreachable" in r.getMessage()
+                       for r in caplog.records)
+            assert any("never accepted a connection" in r.getMessage()
+                       for r in caplog.records)
+        finally:
+            await a.stop()
     asyncio.run(main())
 
 
