@@ -15,11 +15,14 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Tuple
 
+from repro.baselines.base import BaselinePayload
+from repro.baselines.eunomia import EunomiaBatch
 from repro.core.label import LabelType
 from repro.core.serializer import interest_of
 from repro.datacenter.messages import LabelBatch
 
-__all__ = ["TraceTee", "PartialReplicationOracle", "evaluate_oracles"]
+__all__ = ["TraceTee", "PartialReplicationOracle",
+           "BaselineReplicationOracle", "evaluate_oracles"]
 
 
 class TraceTee:
@@ -140,6 +143,53 @@ class PartialReplicationOracle:
                     f"{dst_name} (epoch {epoch}) with no interested "
                     f"datacenter (interest={sorted(interested)}, "
                     f"branch={sorted(reachable)})")
+
+
+class BaselineReplicationOracle:
+    """Partial-replication oracle for the stabilization baselines.
+
+    The baselines have no serializer tree — replication is point-to-point
+    (GentleRain/Cure/Okapi) or fanned out by a per-site sequencer
+    (Eunomia) — so the only routing promise to audit is the destination
+    set: a replicated update may reach exactly the datacenters that
+    replicate its key, and never its own origin.  Duck-types
+    :class:`PartialReplicationOracle` (``violations`` + the network trace
+    protocol) so :func:`evaluate_oracles` and :class:`TraceTee` work
+    unchanged on baseline scenarios.
+    """
+
+    def __init__(self, replication) -> None:
+        self.replication = replication
+        self.violations: List[str] = []
+
+    # -- network trace protocol (via TraceTee) ------------------------------
+
+    def on_send(self, src: str, dst: str, message: Any, arrival: float) -> None:
+        return None
+
+    def on_drop(self, src: str, dst: str, message: Any) -> None:
+        return None
+
+    def on_deliver(self, src: str, dst: str, seq: int, message: Any) -> None:
+        if not dst.startswith("dc:"):
+            return  # datacenter -> sequencer ingress: origin side, legal
+        if isinstance(message, BaselinePayload):
+            payloads = (message,)
+        elif isinstance(message, EunomiaBatch):
+            payloads = message.payloads
+        else:
+            return
+        dc_name = dst[len("dc:"):]
+        for payload in payloads:
+            if payload.label.origin_dc == dc_name:
+                self.violations.append(
+                    f"payload {payload.label!r} delivered back to its "
+                    f"origin datacenter {dc_name} by {src}")
+                continue
+            if dc_name not in self.replication.replicas(payload.key):
+                self.violations.append(
+                    f"payload for key {payload.key!r} delivered to "
+                    f"non-replica datacenter {dc_name} by {src}")
 
 
 def evaluate_oracles(scenario) -> List[str]:

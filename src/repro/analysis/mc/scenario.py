@@ -26,8 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
-from repro.analysis.mc.oracles import PartialReplicationOracle, TraceTee
+from repro.analysis.mc.oracles import (BaselineReplicationOracle,
+                                       PartialReplicationOracle, TraceTee)
 from repro.analysis.runtime import HazardMonitor
+from repro.baselines import (CureDatacenter, EunomiaDatacenter,
+                             GentleRainDatacenter, OkapiDatacenter,
+                             cure_merge, eunomia_merge, gentlerain_merge)
 from repro.core.failover import AutoFailover
 from repro.core.label import LabelType
 from repro.core.reconfig import ReconfigurationManager
@@ -49,7 +53,7 @@ from repro.verify.checker import ExecutionLog
 from repro.workloads.ops import ReadOp, UpdateOp
 
 __all__ = ["Scenario", "SCENARIOS", "MUTATIONS", "build_scenario",
-           "build_chain3"]
+           "build_chain3", "build_baseline_chain3"]
 
 SITES = ("I", "F", "T")
 
@@ -67,12 +71,15 @@ class Scenario:
     sim: Simulator
     network: Network
     replication: ReplicationMap
-    service: SaturnService
-    datacenters: Dict[str, SaturnDatacenter]
+    #: None for baseline scenarios (no serializer tree to check)
+    service: Optional[SaturnService]
+    #: SaturnDatacenter, or a StabilizedDatacenter subclass for baselines
+    datacenters: Dict[str, object]
     clients: List[ClientProcess]
     log: ExecutionLog
     monitor: HazardMonitor
-    partial_oracle: PartialReplicationOracle
+    #: PartialReplicationOracle, or BaselineReplicationOracle for baselines
+    partial_oracle: object
     horizon: float
     #: directed process-name pairs eligible for delay perturbation
     delay_links: FrozenSet[Tuple[str, str]]
@@ -304,6 +311,137 @@ def _build_chain3(name: str, horizon: float,
 build_chain3 = _build_chain3
 
 
+# ---------------------------------------------------------------------------
+# baseline scenarios (no serializer tree; same sites, latencies, workload)
+# ---------------------------------------------------------------------------
+
+#: system -> (datacenter class, client stamp-merge function)
+_BASELINE_SYSTEMS = {
+    "gentlerain": (GentleRainDatacenter, gentlerain_merge),
+    "cure": (CureDatacenter, cure_merge),
+    "eunomia": (EunomiaDatacenter, eunomia_merge),
+    "okapi": (OkapiDatacenter, cure_merge),
+}
+
+
+def _baseline_specs(relay_cap: int = 150, reader_cap: int = 200,
+                    writer_cap: Optional[int] = None):
+    """The chain3 causal workload with poll caps sized for stabilization
+    visibility (a 5 ms round cadence instead of Saturn's label trees).
+    With ``writer_cap`` the writer also waits for ``g0:y`` and then
+    writes ``g0:c`` — the fault scenarios use it to write *through* an
+    outage."""
+    if writer_cap is not None:
+        writer = _then_poll_then(
+            [UpdateOp(KEY_A, 2), UpdateOp(KEY_B, 2), UpdateOp(KEY_P, 2)],
+            KEY_Y, cap=writer_cap, then=[UpdateOp(KEY_C, 2)])
+    else:
+        writer = _scripted([UpdateOp(KEY_A, 2), UpdateOp(KEY_B, 2),
+                            UpdateOp(KEY_P, 2)])
+    return [
+        ("writer-I", "I", writer),
+        ("relay-F", "F", _poll_then(KEY_B, cap=relay_cap,
+                                    then=[UpdateOp(KEY_Y, 2)])),
+        ("reader-T", "T", _poll_then(KEY_Y, cap=reader_cap,
+                                     then=[ReadOp(KEY_A)])),
+    ]
+
+
+def build_baseline_chain3(system: str, name: Optional[str] = None,
+                          horizon: float = 300.0,
+                          specs: Optional[List[Tuple[str, str, Callable]]] = None,
+                          fault_plan: Optional[FaultPlan] = None,
+                          min_expected_updates: int = 4,
+                          batch_period: float = 2.0) -> Scenario:
+    """Build the chain3 deployment on a stabilization baseline.
+
+    Same sites, latencies, replication groups, seed, and scripted causal
+    workload as :func:`build_chain3`, but the datacenters run *system*
+    (``gentlerain``/``cure``/``eunomia``/``okapi``) instead of Saturn —
+    there is no serializer tree, so ``service`` is ``None`` and the
+    routing oracle degrades to the destination-set check
+    (:class:`BaselineReplicationOracle`).  The conformance suite and the
+    baseline chaos scenarios (sequencer crash, clock-skew spike) build
+    on this."""
+    try:
+        dc_cls, merge = _BASELINE_SYSTEMS[system]
+    except KeyError:
+        raise ValueError(f"unknown baseline system {system!r}; "
+                         f"expected one of {sorted(_BASELINE_SYSTEMS)}"
+                         ) from None
+    name = name or f"{system}-chain3"
+    sim = Simulator()
+    rng = RngRegistry(seed=11)
+    network = Network(sim, latency_model=_latency_model(),
+                      default_latency=0.25, rng=rng)
+    metrics = MetricsHub(sim)
+    clocks = ClockFactory(sim, rng, max_skew=0.5)
+    cost = CostModel()
+
+    replication = ReplicationMap(list(SITES))
+    replication.set_group("g0", SITES)
+    replication.set_group("g1", ("I", "F"))
+    log = ExecutionLog(replication)
+
+    datacenters: Dict[str, object] = {}
+    for site in SITES:
+        kwargs = dict(num_partitions=2, metrics=metrics, execution_log=log)
+        if system == "eunomia":
+            kwargs["batch_period"] = batch_period
+        dc = dc_cls(sim, site, site, replication, cost, clocks.create(),
+                    **kwargs)
+        dc.attach_network(network)
+        network.place(dc.name, site)
+        datacenters[site] = dc
+
+    monitor = HazardMonitor()
+    monitor.attach_sim(sim)
+    monitor.network = network
+    partial_oracle = BaselineReplicationOracle(replication)
+    network.trace = TraceTee(monitor, partial_oracle)
+
+    if specs is None:
+        specs = _baseline_specs()
+    clients: List[ClientProcess] = []
+    for index, (client_id, site, generator) in enumerate(specs):
+        client = ClientProcess(sim, client_id, site, generator, merge=merge,
+                               metrics=metrics, execution_log=log)
+        client.attach_network(network)
+        network.place(client.name, site)
+        sim.schedule(0.013 * index, client.start)
+        clients.append(client)
+
+    for dc in datacenters.values():
+        dc.start()
+
+    # perturbable links: every inter-datacenter pair, plus the sequencer
+    # hops for Eunomia (dc -> own sequencer, sequencer -> remote dcs)
+    delay_links = set()
+    for a in datacenters.values():
+        for b in datacenters.values():
+            if a is not b:
+                delay_links.add((a.name, b.name))
+        if system == "eunomia":
+            delay_links.add((a.name, a.sequencer.name))
+            for b in datacenters.values():
+                if b is not a:
+                    delay_links.add((a.sequencer.name, b.name))
+
+    injector: Optional[FaultInjector] = None
+    if fault_plan is not None:
+        injector = FaultInjector(
+            sim, network,
+            clocks={site: dc.clock for site, dc in datacenters.items()})
+
+    return Scenario(
+        name=name, sim=sim, network=network, replication=replication,
+        service=None, datacenters=datacenters, clients=clients, log=log,
+        monitor=monitor, partial_oracle=partial_oracle, horizon=horizon,
+        delay_links=frozenset(delay_links),
+        min_expected_updates=min_expected_updates,
+        injector=injector, fault_plan=fault_plan)
+
+
 def _chain3() -> Scenario:
     return _build_chain3("chain3", horizon=150.0)
 
@@ -356,11 +494,21 @@ def _crash_chain3() -> Scenario:
         auto_failover=True, fault_plan=plan, min_expected_updates=5)
 
 
+def _baseline_scenario(system: str) -> Callable[[], Scenario]:
+    def build() -> Scenario:
+        return build_baseline_chain3(system)
+    return build
+
+
 SCENARIOS: Dict[str, Callable[[], Scenario]] = {
     "chain3": _chain3,
     "reconfig-chain3": _reconfig_chain3,
     "reconfig-emergency": _reconfig_emergency,
     "crash-chain3": _crash_chain3,
+    "gentlerain-chain3": _baseline_scenario("gentlerain"),
+    "cure-chain3": _baseline_scenario("cure"),
+    "eunomia-chain3": _baseline_scenario("eunomia"),
+    "okapi-chain3": _baseline_scenario("okapi"),
 }
 
 

@@ -1,13 +1,17 @@
-"""State-of-the-art baselines: GentleRain [26] and Cure [3]."""
+"""State-of-the-art baselines: GentleRain [26], Cure [3], Eunomia, Okapi."""
 
 from repro.baselines.base import BaselinePayload, StabilizedDatacenter
 from repro.baselines.cure import CureDatacenter, cure_merge
+from repro.baselines.eunomia import (EunomiaDatacenter, EunomiaSequencer,
+                                     eunomia_merge)
 from repro.baselines.explicit import (DepContext, ExplicitDatacenter,
                                       explicit_merge)
 from repro.baselines.gentlerain import GentleRainDatacenter, gentlerain_merge
+from repro.baselines.okapi import HybridClock, OkapiDatacenter
 
 __all__ = [
     "BaselinePayload", "StabilizedDatacenter", "CureDatacenter",
     "cure_merge", "DepContext", "ExplicitDatacenter", "explicit_merge",
-    "GentleRainDatacenter", "gentlerain_merge",
+    "GentleRainDatacenter", "gentlerain_merge", "EunomiaDatacenter",
+    "EunomiaSequencer", "eunomia_merge", "HybridClock", "OkapiDatacenter",
 ]

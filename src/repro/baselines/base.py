@@ -29,7 +29,8 @@ from repro.sim.cpu import CostModel
 from repro.sim.engine import Simulator
 from repro.sim.process import Process
 
-__all__ = ["StabilizedDatacenter", "BaselinePayload", "BaselineStamp"]
+__all__ = ["StabilizedDatacenter", "BaselinePayload", "BaselineStamp",
+           "stamp_wire_bytes", "SCALAR_STAMP_BYTES", "VECTOR_ENTRY_BYTES"]
 
 #: Dependency metadata carried on the wire: GentleRain ships a scalar
 #: timestamp, Cure a sorted ``(dc, ts)`` tuple vector.  Plain immutable
@@ -48,11 +49,30 @@ class BaselinePayload:
     stamp: BaselineStamp    # scalar (GentleRain) or vector (Cure) dependency
 
 
+#: nominal wire size of one scalar timestamp / one vector entry, used for
+#: the metadata bytes-per-update comparison (EXPERIMENTS.md): the absolute
+#: numbers are conventional, the *ratios* between systems are the result
+SCALAR_STAMP_BYTES = 8
+VECTOR_ENTRY_BYTES = 16
+
+
+def stamp_wire_bytes(stamp: BaselineStamp) -> int:
+    """Nominal serialized size of one dependency stamp."""
+    if isinstance(stamp, tuple):
+        return VECTOR_ENTRY_BYTES * len(stamp)
+    return SCALAR_STAMP_BYTES
+
+
 class StabilizedDatacenter(Process):
     """Common machinery of GentleRain- and Cure-style datacenters."""
 
     #: stabilization period from the papers (ms)
     STABILIZATION_PERIOD = 5.0
+
+    #: ``mode`` tag for obs ``visible`` events (per-baseline chain
+    #: vocabulary; see repro.obs.trace — only ``saturn`` mode carries
+    #: structural obligations, baseline modes are purely descriptive)
+    VISIBILITY_MODE = "stabilized"
 
     def __init__(self, sim: Simulator, name: str, site: str,
                  replication: ReplicationMap, cost_model: CostModel,
@@ -83,6 +103,12 @@ class StabilizedDatacenter(Process):
         self._waiters: List[Tuple[object, callable]] = []
         self._update_seq = 0
         self.updates_applied = 0
+        #: optional LabelTracer (repro.obs) — observes issue/visible
+        #: transitions only, never schedules events
+        self.obs = None
+        #: nominal dependency-metadata bytes shipped by this DC (update
+        #: stamps + stabilization traffic), for the five-way comparison
+        self.metadata_bytes_sent = 0
 
     # ------------------------------------------------------------------
     # hooks for subclasses
@@ -108,6 +134,32 @@ class StabilizedDatacenter(Process):
         """Metadata width for the CPU cost model (0 = scalar)."""
         return 0
 
+    def read_metadata_entries(self) -> int:
+        """Metadata width charged on the client *read* path.
+
+        Defaults to :meth:`vector_entries`; Eunomia overrides it to 0
+        because the sequencer keeps dependency tracking off the client
+        critical path."""
+        return self.vector_entries()
+
+    def write_metadata_entries(self) -> int:
+        """Metadata width charged on the client *update* path."""
+        return self.vector_entries()
+
+    def make_timestamp(self, floor: Optional[float]) -> float:
+        """Timestamp for a new local update (Okapi substitutes an HLC)."""
+        return self.clock.timestamp(at_least=floor)
+
+    def _ship_update(self, payload: BaselinePayload, value_size: int) -> None:
+        """Replicate a fresh local update (Eunomia routes via its sequencer)."""
+        replicas = 0
+        for replica in sorted(self.replication.replicas(payload.key)):
+            if replica != self.dc_name:
+                self.network.send(self.name, dc_process_name(replica),
+                                  payload, size_bytes=value_size)
+                replicas += 1
+        self.metadata_bytes_sent += replicas * stamp_wire_bytes(payload.stamp)
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -122,6 +174,7 @@ class StabilizedDatacenter(Process):
             if dc != self.dc_name:
                 self.send(dc_process_name(dc), message)
         partners = len(self.replication.datacenters) - 1
+        self.metadata_bytes_sent += partners * SCALAR_STAMP_BYTES
         cost = self.cost_model.stabilization_cost(partners, self.vector_entries())
         for partition in self.store.partitions:
             partition.cpu.consume(cost)
@@ -162,7 +215,7 @@ class StabilizedDatacenter(Process):
         partition = self.store.partition_for(message.key)
         stored_now = partition.get(message.key)
         size = stored_now.value_size if stored_now else 0
-        cost = self.cost_model.read_cost(size, self.vector_entries())
+        cost = self.cost_model.read_cost(size, self.read_metadata_entries())
 
         def _done() -> None:
             stored = partition.get(message.key)
@@ -182,10 +235,10 @@ class StabilizedDatacenter(Process):
     def _client_update(self, client: str, message: ClientUpdate) -> None:
         partition = self.store.partition_for(message.key)
         cost = self.cost_model.write_cost(message.value_size,
-                                          self.vector_entries())
+                                          self.write_metadata_entries())
 
         def _done() -> None:
-            ts = self.clock.timestamp(at_least=self._stamp_floor(message.label))
+            ts = self.make_timestamp(self._stamp_floor(message.label))
             self._update_seq += 1
             label = Label(LabelType.UPDATE, src=f"{self.dc_name}/g0", ts=ts,
                           target=message.key, origin_dc=self.dc_name)
@@ -195,10 +248,9 @@ class StabilizedDatacenter(Process):
             payload = BaselinePayload(label=label, key=message.key,
                                       value_size=message.value_size,
                                       created_at=created_at, stamp=stamp)
-            for replica in sorted(self.replication.replicas(message.key)):
-                if replica != self.dc_name:
-                    self.network.send(self.name, dc_process_name(replica),
-                                      payload, size_bytes=message.value_size)
+            self._ship_update(payload, message.value_size)
+            if self.obs is not None:
+                self.obs.on_issue(label, created_at, self.dc_name)
             if self.execution_log is not None:
                 self.execution_log.record_update(label, self.dc_name, created_at)
             self.send(client, UpdateReply(
@@ -278,7 +330,7 @@ class StabilizedDatacenter(Process):
         self._pipeline.append(slot)
         partition = self.store.partition_for(payload.key)
         cost = 0.6 * self.cost_model.write_cost(payload.value_size,
-                                                self.vector_entries())
+                                                self.write_metadata_entries())
 
         def _done() -> None:
             slot[1] = True
@@ -292,6 +344,9 @@ class StabilizedDatacenter(Process):
             self._store_update(payload.key, payload.label, payload.value_size,
                                payload.stamp)
             self.updates_applied += 1
+            if self.obs is not None:
+                self.obs.on_visible(payload.label, self.sim.now, self.dc_name,
+                                    self.VISIBILITY_MODE)
             if self.metrics is not None:
                 self.metrics.record_visibility(
                     payload.label.origin_dc, self.dc_name,

@@ -50,6 +50,8 @@ def cure_merge(a: Optional[Vector], b: Optional[Vector]) -> Optional[Vector]:
 class CureDatacenter(StabilizedDatacenter):
     """A datacenter running the Cure protocol."""
 
+    VISIBILITY_MODE = "cure"
+
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         #: dependency vector of the currently stored version of each key

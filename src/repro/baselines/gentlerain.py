@@ -34,6 +34,8 @@ def gentlerain_merge(a: Optional[float], b: Optional[float]) -> Optional[float]:
 class GentleRainDatacenter(StabilizedDatacenter):
     """A datacenter running the GentleRain protocol."""
 
+    VISIBILITY_MODE = "gentlerain"
+
     def gst(self) -> float:
         """Global Stable Time as currently known at this datacenter."""
         values = []

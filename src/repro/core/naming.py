@@ -11,9 +11,14 @@ without anyone importing upward.
 
 from __future__ import annotations
 
-__all__ = ["dc_process_name"]
+__all__ = ["dc_process_name", "sequencer_process_name"]
 
 
 def dc_process_name(dc_name: str) -> str:
     """Network process name of the datacenter called *dc_name*."""
     return f"dc:{dc_name}"
+
+
+def sequencer_process_name(dc_name: str) -> str:
+    """Network process name of *dc_name*'s Eunomia site sequencer."""
+    return f"seq:{dc_name}"

@@ -46,14 +46,18 @@ def _external_plan_builder(plan: FaultPlan) -> Callable[[], Scenario]:
 
 
 def _summarize(scenario: Scenario, violations: List[str]) -> dict:
+    # baseline scenarios run StabilizedDatacenter subclasses, which have
+    # no failover detector, remote proxy, or label sink — guard every
+    # Saturn-specific field so one summary shape serves both
     detectors = {}
     for name, dc in sorted(scenario.datacenters.items()):
-        if dc.failover is not None:
+        failover = getattr(dc, "failover", None)
+        if failover is not None:
             detectors[name] = {
-                "state": dc.failover.state,
-                "transitions": [[t, s] for t, s in dc.failover.transitions],
+                "state": failover.state,
+                "transitions": [[t, s] for t, s in failover.transitions],
                 "degraded_spans": [[a, b]
-                                   for a, b in dc.failover.degraded_spans],
+                                   for a, b in failover.degraded_spans],
             }
     return {
         "scenario": scenario.name,
@@ -67,9 +71,11 @@ def _summarize(scenario: Scenario, violations: List[str]) -> dict:
                        if scenario.failover is not None else []),
         "transitions_escalated": {
             name: dc.proxy.transitions_escalated
-            for name, dc in sorted(scenario.datacenters.items())},
+            for name, dc in sorted(scenario.datacenters.items())
+            if hasattr(dc, "proxy")},
         "sink_replays": {name: dc.sink.replays
-                         for name, dc in sorted(scenario.datacenters.items())},
+                         for name, dc in sorted(scenario.datacenters.items())
+                         if hasattr(dc, "sink")},
         "updates_recorded": len(scenario.log.updates),
     }
 

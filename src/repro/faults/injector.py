@@ -37,13 +37,15 @@ class FaultInjector:
     def __init__(self, sim: "Simulator", network: "Network",
                  service: Optional["SaturnService"] = None,
                  manager: Optional["ReconfigurationManager"] = None,
-                 repair_topology: Optional[Callable[[], "TreeTopology"]] = None
-                 ) -> None:
+                 repair_topology: Optional[Callable[[], "TreeTopology"]] = None,
+                 clocks: Optional[dict] = None) -> None:
         self.sim = sim
         self.network = network
         self.service = service
         self.manager = manager
         self.repair_topology = repair_topology
+        #: datacenter name -> PhysicalClock, for clock-skew actions
+        self.clocks = clocks or {}
         #: optional fault-timing chooser: ``choose_fault(name, k) -> int``
         #: (the model checker's schedule controller); None means default
         self.chooser: Optional[Any] = None
@@ -124,6 +126,15 @@ class FaultInjector:
         self.network.inject_extra_delay(
             args["src"], args["dst"], 0.0,
             symmetric=bool(args.get("symmetric", True)))
+
+    def _do_clock_skew(self, args: dict) -> None:
+        try:
+            clock = self.clocks[args["dc"]]
+        except KeyError:
+            raise RuntimeError(
+                f"fault plan skews the clock of {args['dc']!r} but the "
+                f"injector only knows {sorted(self.clocks)}") from None
+        clock.skew = float(args["skew"])
 
     def _do_reconfigure(self, args: dict) -> None:
         if self.manager is None:

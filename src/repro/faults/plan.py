@@ -35,6 +35,7 @@ KINDS: Dict[str, Tuple[str, ...]] = {
     "heal-link": ("src", "dst"),
     "delay-spike": ("src", "dst", "extra"),
     "clear-delay": ("src", "dst"),
+    "clock-skew": ("dc", "skew"),
     "reconfigure": (),
 }
 
@@ -64,6 +65,9 @@ class FaultAction:
     delay-spike         src, dst, extra,       add extra ms to one link
                         [symmetric]
     clear-delay         src, dst, [symmetric]  remove the extra delay
+    clock-skew          dc, skew               set one datacenter's
+                                               physical-clock skew (ms;
+                                               0.0 models an NTP resync)
     reconfigure         [emergency]            trigger an epoch change
     ==================  =====================================================
     """

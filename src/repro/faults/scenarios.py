@@ -23,6 +23,16 @@ fault timing lives in the mc catalog as ``crash-chain3``.
   reconfiguration, swallowing epoch-change marks so the fast path can
   never complete.  The proxies' transition timeout escalates the stuck
   switch onto the failure path (§6.2) and the run converges anyway.
+
+Two scenarios target the stabilization baselines instead of Saturn
+(:func:`repro.analysis.mc.scenario.build_baseline_chain3`):
+
+* ``eunomia-seq-crash`` — datacenter I's site sequencer is isolated and
+  later rejoins: local writes stay unobtrusive, remote visibility of
+  I's updates stalls until the held FIFO stream replays.
+* ``okapi-clock-skew`` — an 8 ms clock-skew spike (and the resync that
+  removes it) must be absorbed by the hybrid logical/physical clock
+  without a single causal violation.
 """
 
 from __future__ import annotations
@@ -30,7 +40,8 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.analysis.mc.scenario import (KEY_A, KEY_B, KEY_C, KEY_P, KEY_Y,
-                                        Scenario, _poll_then, _then_poll_then,
+                                        Scenario, _baseline_specs, _poll_then,
+                                        _then_poll_then, build_baseline_chain3,
                                         build_chain3)
 from repro.core.service import SaturnService
 from repro.faults.plan import FaultAction, FaultPlan
@@ -114,10 +125,58 @@ def _crash_during_epoch_change() -> Scenario:
         fault_plan=plan, min_expected_updates=5)
 
 
+def _eunomia_seq_crash() -> Scenario:
+    """Datacenter I's site sequencer is cut off mid-stream.
+
+    t=3: the first batch tick (t=2) already shipped ``g0:a``, but ``b``
+    and ``p`` are still buffered (or in flight to) the sequencer when it
+    is isolated — and so are I's subsequent clock-floor ticks, so I's
+    stable floor freezes everywhere.  Remote visibility of I's updates
+    stalls (deferred stabilization's liveness cost) while local writes
+    keep completing (the "unobtrusive" claim: the client path never
+    touches the sequencer).  After the rejoin at t=40 the held FIFO
+    traffic replays in order; the oracles check the whole arc — nothing
+    lost, nothing misordered, every client terminates."""
+    seq_i = "seq:I"
+    plan = FaultPlan(name="eunomia-seq-crash", actions=(
+        FaultAction(kind="isolate", at=3.0, args={"process": seq_i}),
+        FaultAction(kind="rejoin", at=40.0, args={"process": seq_i}),
+    ))
+    return build_baseline_chain3(
+        "eunomia", name="eunomia-seq-crash", horizon=300.0,
+        specs=_baseline_specs(relay_cap=200, reader_cap=250, writer_cap=300),
+        fault_plan=plan, min_expected_updates=5)
+
+
+def _okapi_clock_skew() -> Scenario:
+    """Datacenter I's physical clock jumps 8 ms ahead mid-run, then an
+    NTP-style resync at t=60 yanks it back.
+
+    The hybrid clock must absorb both edges: timestamps stay monotone
+    through the backward step (logical bumps carry the HLC until
+    physical time catches up), receivers merge the skewed values into
+    their own clocks, and the global-cut stabilization keeps advancing
+    because Okapi's GSV follows *received HLCs*, not local wall clocks.
+    ``g0:c`` is written while the skew is active, so a future-stamped
+    update flows through the whole pipeline."""
+    plan = FaultPlan(name="okapi-clock-skew", actions=(
+        FaultAction(kind="clock-skew", at=10.0,
+                    args={"dc": "I", "skew": 8.0}),
+        FaultAction(kind="clock-skew", at=60.0,
+                    args={"dc": "I", "skew": 0.0}),
+    ))
+    return build_baseline_chain3(
+        "okapi", name="okapi-clock-skew", horizon=300.0,
+        specs=_baseline_specs(relay_cap=200, reader_cap=250, writer_cap=300),
+        fault_plan=plan, min_expected_updates=5)
+
+
 CHAOS_SCENARIOS: Dict[str, Callable[[], Scenario]] = {
     "serializer-crash": _serializer_crash,
     "root-partition": _root_partition,
     "crash-during-epoch-change": _crash_during_epoch_change,
+    "eunomia-seq-crash": _eunomia_seq_crash,
+    "okapi-clock-skew": _okapi_clock_skew,
 }
 
 

@@ -38,6 +38,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig6": experiments.fig6,
     "fig7": experiments.fig7,
     "fig8": experiments.fig8,
+    "five-way": experiments.five_way,
     "reconfiguration": experiments.reconfiguration,
     "visibility-under-failure": experiments.visibility_under_failure,
     "ablation-sink-batching": experiments.ablation_sink_batching,

@@ -38,6 +38,7 @@ __all__ = [
     "Scale", "SMOKE", "DEFAULT",
     "m_configuration", "run_once",
     "fig1a", "fig1b", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "five_way", "five_way_smoke_summary", "FIVE_WAY_SYSTEMS",
     "reconfiguration", "visibility_under_failure",
     "ablation_sink_batching", "ablation_artificial_delays",
     "ablation_parallel_apply", "ablation_genuine_partial",
@@ -277,6 +278,102 @@ def fig7(scale: Scale = DEFAULT) -> Dict:
             pair: result.visibility.samples(*pair) for pair in pairs}
         out["means"][system] = result.visibility.mean()
     return out
+
+
+# ---------------------------------------------------------------------------
+# five-way comparison — Fig. 4 / Fig. 6 extended with Eunomia and Okapi
+# ---------------------------------------------------------------------------
+
+FIVE_WAY_SYSTEMS = ("saturn", "gentlerain", "cure", "eunomia", "okapi")
+
+#: nominal wire size of one Saturn label (type + src + ts + target +
+#: origin); same convention as the baselines' stamp_wire_bytes, so the
+#: cross-system *ratios* are the meaningful result
+SATURN_LABEL_BYTES = 32
+
+
+def _metadata_bytes(cluster: Cluster) -> int:
+    """Total dependency-metadata bytes moved during one run.
+
+    Baselines count *sent-side* (update stamps + stabilization /
+    sequencer traffic); Saturn counts *received-side* labels (each
+    label is processed once per interested datacenter, which is the
+    genuine-partial-replication win being measured).  The asymmetry is
+    documented in EXPERIMENTS.md; within a family the numbers compose.
+    """
+    system = cluster.config.system
+    total = 0
+    if system in ("saturn", "saturn-ts"):
+        for dc in cluster.datacenters.values():
+            total += SATURN_LABEL_BYTES * dc.proxy.labels_processed
+    elif system in ("cops", "cops-noprune"):
+        for dc in cluster.datacenters.values():
+            total += 16 * sum(dc.dep_list_sizes)
+    else:
+        for dc in cluster.datacenters.values():
+            total += getattr(dc, "metadata_bytes_sent", 0)
+            sequencer = getattr(dc, "sequencer", None)
+            if sequencer is not None:
+                total += sequencer.metadata_bytes_sent
+    return total
+
+
+def five_way(scale: Scale = DEFAULT,
+             sites: Optional[Sequence[str]] = None,
+             pairs: Sequence[Tuple[str, str]] = (("I", "F"), ("I", "S"))) -> Dict:
+    """Five-way saturn / gentlerain / cure / eunomia / okapi comparison:
+    visibility-latency CDFs per pair, metadata bytes-per-update, and
+    throughput, on one topology (default: the 7 EC2 regions)."""
+    sites = list(sites) if sites is not None else list(EC2_REGIONS)
+    pairs = [pair for pair in pairs if pair[0] in sites and pair[1] in sites]
+    workload_args = dict(correlation="full")
+    rows = []
+    series: Dict[str, Dict] = {}
+    for system in FIVE_WAY_SYSTEMS:
+        result = run_once(system, SyntheticWorkload(**workload_args), scale,
+                          sites=sites)
+        visibility = result.visibility
+        count = visibility.count()
+        rows.append({
+            "system": system,
+            "throughput": result.throughput,
+            "ops_completed": result.ops_completed,
+            "visible_updates": count,
+            "mean_visibility_ms": visibility.mean() if count else None,
+            "p90_visibility_ms": visibility.percentile(90) if count else None,
+            "metadata_bytes_per_update": (
+                _metadata_bytes(result.cluster) / count if count else 0.0),
+        })
+        series[system] = {pair: visibility.samples(*pair) for pair in pairs}
+    return {"rows": rows, "pairs": pairs, "series": series}
+
+
+def five_way_smoke_summary() -> Dict:
+    """Fixed-shape smoke five-way run for golden pinning and CI.
+
+    Every parameter is pinned here (instead of taking a Scale) so the
+    output is a deterministic function of the codebase alone — the JSON
+    digest of this dict is committed under ``tests/harness/golden/`` and
+    regenerating it must be byte-identical (mirrors ``tests/obs/golden``).
+    """
+    scale = Scale(duration=400.0, warmup=100.0, clients_per_dc=4,
+                  num_partitions=2, seed=11, beam_width=3)
+    result = five_way(scale, sites=("I", "F", "T"),
+                      pairs=(("I", "F"), ("I", "T")))
+    summary = {}
+    for row in result["rows"]:
+        summary[row["system"]] = {
+            "throughput": round(row["throughput"], 6),
+            "ops_completed": row["ops_completed"],
+            "visible_updates": row["visible_updates"],
+            "mean_visibility_ms": (None if row["mean_visibility_ms"] is None
+                                   else round(row["mean_visibility_ms"], 6)),
+            "p90_visibility_ms": (None if row["p90_visibility_ms"] is None
+                                  else round(row["p90_visibility_ms"], 6)),
+            "metadata_bytes_per_update": round(
+                row["metadata_bytes_per_update"], 6),
+        }
+    return summary
 
 
 # ---------------------------------------------------------------------------

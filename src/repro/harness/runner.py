@@ -1,6 +1,6 @@
 """Experiment harness: build a geo-replicated cluster and drive a workload.
 
-The runner assembles the full simulated system for any of the five systems
+The runner assembles the full simulated system for any of the systems
 under study:
 
 * ``"saturn"``     — the paper's system (tree-based metadata dissemination);
@@ -8,6 +8,9 @@ under study:
 * ``"eventual"``   — eventually consistent baseline (upper/lower bound);
 * ``"gentlerain"`` — GentleRain [26];
 * ``"cure"``       — Cure [3];
+* ``"eunomia"``    — Eunomia (per-site sequencer, deferred stabilization);
+* ``"okapi"``      — Okapi (HLC vectors, global-cut stabilization);
+* ``"cops"`` / ``"cops-noprune"`` — COPS-style explicit dependencies;
 
 places one datacenter per site with Table-1-style latencies, spawns
 closed-loop clients, runs for a simulated duration, and returns throughput
@@ -20,9 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.baselines.base import StabilizedDatacenter
 from repro.baselines.cure import CureDatacenter, cure_merge
+from repro.baselines.eunomia import EunomiaDatacenter, eunomia_merge
 from repro.baselines.explicit import ExplicitDatacenter, explicit_merge
 from repro.baselines.gentlerain import GentleRainDatacenter, gentlerain_merge
+from repro.baselines.okapi import OkapiDatacenter
 from repro.config.latencies import EC2_REGIONS, ec2_latency_model
 from repro.core.label import label_max
 from repro.core.replication import ReplicationMap
@@ -40,7 +46,7 @@ from repro.sim.rng import RngRegistry
 __all__ = ["ClusterConfig", "Cluster", "RunResults", "MetricsHub", "SYSTEMS"]
 
 SYSTEMS = ("saturn", "saturn-ts", "eventual", "gentlerain", "cure",
-           "cops", "cops-noprune")
+           "eunomia", "okapi", "cops", "cops-noprune")
 
 
 class MetricsHub:
@@ -91,6 +97,9 @@ class ClusterConfig:
     auto_failover: bool = False
     #: stuck fast-path epoch changes escalate to the failure path (0 = off)
     transition_timeout: float = 0.0
+    #: Eunomia sequencer batching interval (ms): the staleness /
+    #: batching-efficiency knob of the deferred-stabilization design
+    sequencer_batch_period: float = 2.0
     #: override the workload's replication map (e.g. Fig. 1b sweeps)
     replication: Optional[ReplicationMap] = None
     #: opt-in runtime FIFO/determinism checker (repro.analysis.runtime);
@@ -231,6 +240,19 @@ class Cluster:
                                       num_partitions=config.num_partitions,
                                       metrics=self.metrics,
                                       execution_log=self.execution_log)
+        elif config.system == "eunomia":
+            dc = EunomiaDatacenter(self.sim, site, site, self.replication,
+                                   config.cost_model, clock,
+                                   num_partitions=config.num_partitions,
+                                   metrics=self.metrics,
+                                   execution_log=self.execution_log,
+                                   batch_period=config.sequencer_batch_period)
+        elif config.system == "okapi":
+            dc = OkapiDatacenter(self.sim, site, site, self.replication,
+                                 config.cost_model, clock,
+                                 num_partitions=config.num_partitions,
+                                 metrics=self.metrics,
+                                 execution_log=self.execution_log)
         elif config.system in ("cops", "cops-noprune"):
             dc = ExplicitDatacenter(self.sim, site, site, self.replication,
                                     config.cost_model, clock,
@@ -244,6 +266,8 @@ class Cluster:
                                 num_partitions=config.num_partitions,
                                 metrics=self.metrics,
                                 execution_log=self.execution_log)
+        if self.obs_hub is not None and isinstance(dc, StabilizedDatacenter):
+            dc.obs = self.obs_hub.tracer
         dc.attach_network(self.network)
         self.network.place(dc.name, site)
         return dc
@@ -254,6 +278,8 @@ class Cluster:
             "eventual": label_max,
             "gentlerain": gentlerain_merge,
             "cure": cure_merge,
+            "eunomia": eunomia_merge,
+            "okapi": cure_merge,
             "cops": explicit_merge, "cops-noprune": explicit_merge,
         }[self.config.system]
 

@@ -33,7 +33,9 @@ import struct
 from typing import Any, Dict, Tuple, Type
 
 from repro.baselines.base import BaselinePayload
+from repro.baselines.eunomia import EunomiaBatch, EunomiaTick
 from repro.baselines.explicit import DepContext, ExplicitPayload
+from repro.baselines.okapi import OkapiStabMsg
 from repro.core.label import Label, LabelType
 from repro.datacenter.messages import (AttachOk, BulkHeartbeat, ClientAttach,
                                        ClientMigrate, ClientRead,
@@ -219,3 +221,6 @@ register(Pong)
 register(StabilizationMsg)
 register(BaselinePayload)
 register(ExplicitPayload)
+register(EunomiaTick)
+register(EunomiaBatch)
+register(OkapiStabMsg)

@@ -114,16 +114,22 @@ def attach_tracer(scenario) -> ObsHub:
     scenario.network.trace = TraceTee(scenario.monitor,
                                       scenario.partial_oracle, hub.net_tap)
     service = scenario.service
-    service.obs = tracer
-    for epoch in service.epochs():
-        for tree_name in sorted(service.serializers(epoch)):
-            service.serializers(epoch)[tree_name].obs = tracer
+    if service is not None:
+        service.obs = tracer
+        for epoch in service.epochs():
+            for tree_name in sorted(service.serializers(epoch)):
+                service.serializers(epoch)[tree_name].obs = tracer
     for name in sorted(scenario.datacenters):
         dc = scenario.datacenters[name]
-        dc.sink.obs = tracer
-        dc.proxy.obs = tracer
-        if dc.failover is not None:
-            dc.failover.obs = tracer
+        if hasattr(dc, "sink"):
+            dc.sink.obs = tracer
+            dc.proxy.obs = tracer
+            if dc.failover is not None:
+                dc.failover.obs = tracer
+        else:
+            # stabilization-baseline datacenter (Eunomia/Okapi scenarios):
+            # one tracer hook pair, issue -> visible
+            dc.obs = tracer
     if scenario.manager is not None:
         scenario.manager.obs = tracer
     return hub

@@ -11,7 +11,8 @@ from repro.harness.runner import Cluster, ClusterConfig
 from repro.verify.checker import ExecutionLog
 from repro.workloads.synthetic import SyntheticWorkload
 
-CAUSAL_SYSTEMS = ("saturn", "saturn-ts", "gentlerain", "cure")
+CAUSAL_SYSTEMS = ("saturn", "saturn-ts", "gentlerain", "cure",
+                  "eunomia", "okapi")
 
 
 def run_checked(system, workload=None, duration=600.0, sites=("I", "F", "T"),
