@@ -26,12 +26,14 @@ independently.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, List, Optional
+from collections import deque
+from typing import Callable, Deque, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.label import Label, LabelType
 from repro.core.replication import ReplicationMap
 from repro.core.tree import TreeTopology
-from repro.datacenter.messages import LabelBatch, Ping, Pong, SerializerBeacon
+from repro.datacenter.messages import (LabelBatch, LabelCredit, Ping, Pong,
+                                       SerializerBeacon)
 from repro.sim.engine import Simulator
 from repro.sim.process import Process
 
@@ -78,7 +80,8 @@ class Serializer(Process):
                  peer_process_name: Callable[[str], str],
                  epoch: int = 0,
                  chain_length: int = 1,
-                 local_hop_latency: float = 0.3) -> None:
+                 local_hop_latency: float = 0.3,
+                 service_rate: float = 0.0) -> None:
         super().__init__(sim, name)
         self.tree_name = tree_name
         self.topology = topology
@@ -96,6 +99,17 @@ class Serializer(Process):
         self.obs = None
         self.beacon_period = 0.0
         self._beacon_timer = None
+        # -- opt-in overload machinery (repro.datacenter.overload) --------
+        #: finite ingress service capacity, labels/ms (0 = infinite: route
+        #: on arrival, the historical behaviour)
+        self.service_rate = service_rate
+        self._ingress: Deque[Tuple[LabelBatch, str]] = deque()
+        self._servicing = False
+        self.peak_ingress_depth = 0
+        self.batches_serviced = 0
+        self.credits_returned = 0
+        #: opt-in metrics registry (repro.obs.MetricsRegistry)
+        self.queue_obs = None
         # Routing tables are static per epoch (reconfiguration installs a
         # fresh tree of serializers), so resolve them once instead of on
         # every batch: outgoing directions as (neighbor, peer process,
@@ -179,7 +193,53 @@ class Serializer(Process):
         if not isinstance(message, LabelBatch):
             return
         came_from = self._neighbor_of(sender)
+        if (self.service_rate > 0 and came_from is None
+                and not message.replayed):
+            # Overload configuration: sink-originated batches pay for a
+            # finite service capacity before being routed; the credit goes
+            # back to the sink only once its batch is serviced.  Batches
+            # from neighbouring serializers route immediately (intra-tree
+            # capacity is not the bottleneck under study) and sink replays
+            # bypass flow control entirely — failover recovery must not
+            # deadlock on credits that died with the old tree.
+            self._enqueue_ingress(message, sender)
+            return
         self._route_batch(message, came_from, sender)
+
+    # -- ingress service queue (overload configuration only) -----------------
+
+    def _enqueue_ingress(self, batch: LabelBatch, sender: str) -> None:
+        self._ingress.append((batch, sender))
+        depth = len(self._ingress)
+        if depth > self.peak_ingress_depth:
+            self.peak_ingress_depth = depth
+        if self.queue_obs is not None:
+            self.queue_obs.gauge(f"serializer:{self.tree_name}",
+                                 "ingress_depth").set(depth, self.sim.now)
+        if not self._servicing:
+            self._servicing = True
+            self._service_next()
+
+    def _service_next(self) -> None:
+        if not self._ingress:
+            self._servicing = False
+            return
+        batch, _ = self._ingress[0]
+        self.set_timer(len(batch.labels) / self.service_rate,
+                       self._finish_service)
+
+    def _finish_service(self) -> None:
+        batch, sender = self._ingress.popleft()
+        self.batches_serviced += 1
+        self._route_batch(batch, None, sender)
+        self.credits_returned += len(batch.labels)
+        self.send(sender, LabelCredit(labels=len(batch.labels),
+                                      tree_name=self.tree_name))
+        if self.queue_obs is not None:
+            self.queue_obs.gauge(f"serializer:{self.tree_name}",
+                                 "ingress_depth").set(len(self._ingress),
+                                                      self.sim.now)
+        self._service_next()
 
     def _neighbor_of(self, sender_process: str) -> Optional[str]:
         """Map the sending process back to a tree neighbor, if any."""

@@ -26,7 +26,8 @@ class SaturnService:
     def __init__(self, sim: Simulator, network: Network,
                  replication: ReplicationMap, chain_length: int = 1,
                  local_hop_latency: float = 0.3,
-                 beacon_period: float = 0.0) -> None:
+                 beacon_period: float = 0.0,
+                 serializer_service_rate: float = 0.0) -> None:
         self.sim = sim
         self.network = network
         self.replication = replication
@@ -35,11 +36,16 @@ class SaturnService:
         #: liveness-beacon period for every serializer (0 disables; see
         #: repro.datacenter.failover for the matching detector).
         self.beacon_period = beacon_period
+        #: finite ingress service capacity in labels/ms for every
+        #: serializer (0 = infinite; see repro.datacenter.overload)
+        self.serializer_service_rate = serializer_service_rate
         self._trees: Dict[int, Tuple[TreeTopology, Dict[str, Serializer]]] = {}
         self.current_epoch = 0
         #: opt-in label-lifecycle tracer, inherited by every serializer
         #: installed after it is set (repro.obs)
         self.obs = None
+        #: opt-in queue-metrics registry, inherited the same way
+        self.queue_obs = None
 
     # ------------------------------------------------------------------
 
@@ -75,8 +81,10 @@ class SaturnService:
                 epoch=epoch,
                 chain_length=self.chain_length,
                 local_hop_latency=self.local_hop_latency,
+                service_rate=self.serializer_service_rate,
             )
             proc.obs = self.obs
+            proc.queue_obs = self.queue_obs
             proc.attach_network(self.network)
             self.network.place(proc.name, site)
             proc.start_beacons(self.beacon_period)

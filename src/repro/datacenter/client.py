@@ -10,6 +10,19 @@ it attaches to its preferred datacenter and then issues operations with zero
 think time, pulling each next operation from a workload generator.  Remote
 reads follow the full migration dance of §4.4 (migrate out, attach, read,
 migrate back, attach home).
+
+The *pacing* decisions are isolated in two overridable hooks so arrival
+models other than the closed loop can reuse the whole state machine:
+``_on_ready`` fires once the initial attach completes and ``_on_op_complete``
+after every finished operation; both default to issuing the next workload
+operation immediately (the closed loop).  The open-loop subclass
+(:class:`repro.workloads.openloop.OpenLoopClient`) overrides them to hand
+control back to its arrival-process source instead.
+
+Admission control (:mod:`repro.datacenter.overload`) may reject an update
+before it reaches storage; the client counts the rejection (``ops_rejected``)
+without folding any stamp and lets the arrival model decide what happens
+next — a closed-loop client simply issues its next operation.
 """
 
 from __future__ import annotations
@@ -62,6 +75,7 @@ class ClientProcess(Process):
 
         self.stamp: object = None
         self.ops_completed = 0
+        self.ops_rejected = 0
         self._op: Optional[object] = None
         self._op_started = 0.0
         self._phase = "idle"
@@ -99,6 +113,10 @@ class ClientProcess(Process):
         if op is None:
             self._running = False
             return
+        self._dispatch(op)
+
+    def _dispatch(self, op: object) -> None:
+        """Issue one operation (the op-type -> request-message mapping)."""
         self._op = op
         self._op_started = self.sim.now
         if isinstance(op, ReadOp):
@@ -123,7 +141,24 @@ class ClientProcess(Process):
                                    self.sim.now)
         self._op = None
         self._phase = "idle"
+        self._on_op_complete()
+
+    # -- arrival-model hooks ------------------------------------------------
+
+    def _on_ready(self) -> None:
+        """Initial attach finished; the closed loop starts issuing."""
         self._next_op()
+
+    def _on_op_complete(self) -> None:
+        """An operation finished; the closed loop issues the next one."""
+        self._next_op()
+
+    def _on_op_rejected(self) -> None:
+        """Admission control refused the update (no stamp to fold)."""
+        self.ops_rejected += 1
+        self._op = None
+        self._phase = "idle"
+        self._on_op_complete()
 
     # ------------------------------------------------------------------
     # replies
@@ -137,9 +172,12 @@ class ClientProcess(Process):
             self._log_read(message)
             self._on_read_reply(message)
         elif isinstance(message, UpdateReply):
-            self._observe(message.label)
-            self._log_update(message)
-            self._complete_op("update")
+            if message.rejected:
+                self._on_op_rejected()
+            else:
+                self._observe(message.label)
+                self._log_update(message)
+                self._complete_op("update")
         elif isinstance(message, MigrateReply):
             self._observe(message.label)
             self._on_migrate_reply()
@@ -174,7 +212,7 @@ class ClientProcess(Process):
 
     def _on_attach_ok(self) -> None:
         if self._phase == "initial-attach":
-            self._next_op()
+            self._on_ready()
         elif self._phase == "attach-remote":
             op = self._op
             assert isinstance(op, RemoteReadOp)

@@ -30,8 +30,9 @@ from repro.datacenter.failover import SinkFailoverDetector
 from repro.datacenter.label_sink import LabelSink
 from repro.datacenter.messages import (BulkHeartbeat, ClientAttach,
                                        ClientMigrate, ClientRead, ClientUpdate,
-                                       LabelBatch, Ping, Pong, RemotePayload,
-                                       SerializerBeacon)
+                                       LabelBatch, LabelCredit, Ping, Pong,
+                                       RemotePayload, SerializerBeacon)
+from repro.datacenter.overload import AdmissionController
 from repro.datacenter.remote_proxy import RemoteProxy
 from repro.datacenter.storage import PartitionedStore
 from repro.sim.clock import PhysicalClock
@@ -82,6 +83,11 @@ class DatacenterParams:
     #: how far back (ms) the sink re-sends labels on an emergency epoch
     #: change; -1 auto-sizes from the detection window, 0 disables replay
     label_replay_window: float = -1.0
+    #: opt-in overload machinery (repro.datacenter.overload): cap on
+    #: admitted-but-unshipped update labels (0 disables admission control)
+    sink_buffer_cap: int = 0
+    #: flow-control credits towards the ingress serializer (0 disables)
+    sink_credits: int = 0
 
     def __post_init__(self) -> None:
         if self.consistency not in ("saturn", "timestamp", "eventual"):
@@ -121,7 +127,14 @@ class SaturnDatacenter(Process):
         self.proxy.transition_timeout = params.transition_timeout
         self.sink = LabelSink(self, batch_period=params.sink_batch_period,
                               heartbeat_period=params.sink_heartbeat_period,
-                              replay_window=params.label_replay_window)
+                              replay_window=params.label_replay_window,
+                              credits=(params.sink_credits
+                                       if params.sink_credits > 0 else None))
+        self.admission: Optional[AdmissionController] = None
+        if params.sink_buffer_cap > 0 and self.consistency == "saturn":
+            self.admission = AdmissionController(
+                params.sink_buffer_cap, component=f"admission:{self.dc_name}")
+            self.sink.admission = self.admission
         self.failover: Optional[SinkFailoverDetector] = None
         if params.beacon_timeout > 0 and self.consistency == "saturn":
             self.failover = SinkFailoverDetector(
@@ -182,6 +195,8 @@ class SaturnDatacenter(Process):
             self._outstanding_pings.pop(message.seq, None)
             if self.failover is not None:
                 self.failover.on_pong(message.seq)
+        elif isinstance(message, LabelCredit):
+            self.sink.on_credit(message.labels)
         elif isinstance(message, SerializerBeacon):
             if self.failover is not None:
                 self.failover.on_beacon(message)

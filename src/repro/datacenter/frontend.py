@@ -75,6 +75,13 @@ class Frontend:
     def update(self, client: str, key: str, value_size: int,
                client_label: Optional[Label]) -> None:
         dc = self.dc
+        if dc.admission is not None and not dc.admission.try_admit(dc.sim.now):
+            # Overload configuration: shed load *before* it costs storage
+            # CPU — a rejected update never existed, so causal visibility
+            # of everything admitted is unaffected.
+            dc.reply(client, UpdateReply(client_id=client, key=key,
+                                         label=None, rejected=True))
+            return
         partition = dc.store.partition_for(key)
         gear = dc.gears[partition.index]
 

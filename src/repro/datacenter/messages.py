@@ -22,7 +22,7 @@ __all__ = [
     "ClientAttach", "ClientRead", "ClientUpdate", "ClientMigrate",
     "AttachOk", "ReadReply", "UpdateReply", "MigrateReply",
     "RemotePayload", "BulkHeartbeat", "LabelBatch", "StabilizationMsg",
-    "Ping", "Pong", "SerializerBeacon", "Stamp",
+    "Ping", "Pong", "SerializerBeacon", "LabelCredit", "Stamp",
 ]
 
 #: A client's causal past as carried on the wire.  The concrete shape is
@@ -87,6 +87,9 @@ class UpdateReply:
     label: Stamp
     #: (ts, src) identity of the written version (for the offline checker)
     version: Optional[Tuple[float, str]] = None
+    #: True when admission control refused the update before it reached
+    #: storage (label/version are None); see repro.datacenter.overload
+    rejected: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -138,6 +141,22 @@ class LabelBatch:
     #: it may repeat labels the receiver already processed, so proxies relax
     #: their dedup for these labels (see RemoteProxy._pump_saturn)
     replayed: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class LabelCredit:
+    """Flow-control grant from an ingress serializer to a label sink.
+
+    Under the overload configuration (:mod:`repro.datacenter.overload`)
+    a sink may only have a bounded number of labels outstanding at its
+    ingress serializer; the serializer returns the credit as it services
+    each batch.  A sink with no credits defers its periodic flush — the
+    buffered labels coalesce into a larger batch — which is how queue
+    growth inside Saturn propagates back to admission control at the
+    frontends without ever dropping a label."""
+
+    labels: int
+    tree_name: str = ""
 
 
 # -- stabilization (GentleRain / Cure baselines) -------------------------------

@@ -39,6 +39,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig7": experiments.fig7,
     "fig8": experiments.fig8,
     "five-way": experiments.five_way,
+    "overload": experiments.overload,
     "reconfiguration": experiments.reconfiguration,
     "visibility-under-failure": experiments.visibility_under_failure,
     "ablation-sink-batching": experiments.ablation_sink_batching,
@@ -138,7 +139,8 @@ def _summarize(name: str, result: Dict) -> str:
                 samples = series.get(pair, [])
                 lines.append(format_cdf_summary(
                     f"{series_name} {pair[0]}->{pair[1]}", samples))
-    for key in ("means", "max_ms", "completed", "optimal_mean_overall"):
+    for key in ("means", "max_ms", "completed", "optimal_mean_overall",
+                "max_sustainable_ops_s", "p99_slo_ms", "goodput_floor"):
         if key in result:
             lines.append(f"{key}: {result[key]}")
     return "\n".join(lines)

@@ -39,6 +39,7 @@ __all__ = [
     "m_configuration", "run_once",
     "fig1a", "fig1b", "fig4", "fig5", "fig6", "fig7", "fig8",
     "five_way", "five_way_smoke_summary", "FIVE_WAY_SYSTEMS",
+    "overload", "overload_smoke_summary", "OVERLOAD_SYSTEMS",
     "reconfiguration", "visibility_under_failure",
     "ablation_sink_batching", "ablation_artificial_delays",
     "ablation_parallel_apply", "ablation_genuine_partial",
@@ -374,6 +375,128 @@ def five_way_smoke_summary() -> Dict:
                 row["metadata_bytes_per_update"], 6),
         }
     return summary
+
+
+# ---------------------------------------------------------------------------
+# overload study — open-loop saturation sweep (beyond the paper)
+# ---------------------------------------------------------------------------
+
+OVERLOAD_SYSTEMS = ("saturn", "gentlerain")
+
+
+def _overload_topology(sites: Sequence[str]) -> TreeTopology:
+    """A serializer chain co-located with the datacenters (worst-case
+    metadata path: every label crosses the whole chain)."""
+    names = [f"s{site}" for site in sites]
+    return TreeTopology(
+        serializer_sites={name: site for name, site in zip(names, sites)},
+        edges=[(a, b) for a, b in zip(names, names[1:])],
+        attachments={site: f"s{site}" for site in sites})
+
+
+def overload(scale: Scale = DEFAULT,
+             systems: Sequence[str] = OVERLOAD_SYSTEMS,
+             sites: Sequence[str] = ("I", "F", "T"),
+             rates: Sequence[float] = (500.0, 2000.0, 8000.0, 20000.0),
+             p99_slo_ms: float = 400.0,
+             goodput_floor: float = 0.95,
+             num_users: int = 4000,
+             overload_config: Optional["OverloadConfig"] = None) -> Dict:
+    """Open-loop saturation sweep: offered load vs delivered quality.
+
+    For each system, sweep per-datacenter Poisson arrival rates over the
+    streaming social workload and find the *max sustainable* offered rate:
+    the largest rate at which p99 remote-update visibility stays under
+    ``p99_slo_ms`` **and** at least ``goodput_floor`` of offered
+    operations complete (rejections and queue growth both count against
+    goodput).  The closed loop cannot measure this — it throttles itself.
+
+    Saturn runs with the bounded-queue/backpressure/admission chain
+    (:class:`~repro.datacenter.overload.OverloadConfig`); the baselines
+    have no label path, so their overload behaviour is pure CPU queueing.
+    """
+    from repro.datacenter.overload import OverloadConfig
+    from repro.workloads.arrivals import PoissonArrivals
+    from repro.workloads.streaming import StreamingFacebookWorkload
+
+    if overload_config is None:
+        overload_config = OverloadConfig(sink_buffer_cap=50, sink_credits=20,
+                                         serializer_service_rate=2.0)
+    topology = _overload_topology(sites)
+    rows = []
+    max_sustainable: Dict[str, Optional[float]] = {}
+    for system in systems:
+        best: Optional[float] = None
+        for rate in rates:
+            workload = StreamingFacebookWorkload(num_users=num_users,
+                                                 min_replicas=2,
+                                                 max_replicas=min(3, len(sites)))
+            result = run_once(
+                system, workload, scale, sites=sites,
+                topology=topology if system == "saturn" else None,
+                arrivals=PoissonArrivals(rate_ops_s=rate),
+                overload=overload_config if system == "saturn" else None)
+            cluster = result.cluster
+            offered = sum(s.offered for s in cluster.sources)
+            completed = sum(s.completed for s in cluster.sources)
+            rejected = sum(s.rejected for s in cluster.sources)
+            goodput = completed / offered if offered else 0.0
+            visibility = result.visibility
+            vis_p99 = (visibility.percentile(99) if visibility.count()
+                       else None)
+            sustainable = (goodput >= goodput_floor
+                           and vis_p99 is not None and vis_p99 <= p99_slo_ms)
+            if sustainable:
+                best = rate if best is None else max(best, rate)
+            rows.append({
+                "system": system,
+                "offered_ops_s_per_dc": rate,
+                "offered": offered,
+                "completed": completed,
+                "rejected": rejected,
+                "goodput": goodput,
+                "throughput": result.throughput,
+                "op_p99_ms": result.ops.latency_percentile(
+                    99, start=scale.warmup),
+                "visibility_p99_ms": vis_p99,
+                "sustainable": sustainable,
+            })
+        max_sustainable[system] = best
+    return {"rows": rows, "max_sustainable_ops_s": max_sustainable,
+            "p99_slo_ms": p99_slo_ms, "goodput_floor": goodput_floor}
+
+
+def overload_smoke_summary() -> Dict:
+    """Fixed-shape smoke overload sweep for golden pinning and CI.
+
+    Every parameter is pinned (mirrors :func:`five_way_smoke_summary`):
+    the returned dict is a deterministic function of the codebase alone,
+    committed as ``tests/harness/golden/overload_smoke.json``.
+    """
+    scale = Scale(duration=400.0, warmup=100.0, num_partitions=2, seed=11)
+    result = overload(scale, systems=("saturn", "gentlerain"),
+                      sites=("I", "F", "T"),
+                      rates=(500.0, 2000.0, 8000.0),
+                      num_users=4000)
+    rows = []
+    for row in result["rows"]:
+        rows.append({
+            "system": row["system"],
+            "offered_ops_s_per_dc": row["offered_ops_s_per_dc"],
+            "offered": row["offered"],
+            "completed": row["completed"],
+            "rejected": row["rejected"],
+            "goodput": round(row["goodput"], 6),
+            "throughput": round(row["throughput"], 6),
+            "op_p99_ms": round(row["op_p99_ms"], 6),
+            "visibility_p99_ms": (None if row["visibility_p99_ms"] is None
+                                  else round(row["visibility_p99_ms"], 6)),
+            "sustainable": row["sustainable"],
+        })
+    return {"rows": rows,
+            "max_sustainable_ops_s": result["max_sustainable_ops_s"],
+            "p99_slo_ms": result["p99_slo_ms"],
+            "goodput_floor": result["goodput_floor"]}
 
 
 # ---------------------------------------------------------------------------

@@ -36,6 +36,8 @@ from repro.core.service import SaturnService
 from repro.core.tree import TreeTopology
 from repro.datacenter.client import ClientProcess
 from repro.datacenter.datacenter import DatacenterParams, SaturnDatacenter
+from repro.datacenter.overload import OverloadConfig
+from repro.workloads.openloop import OpenLoopClient, OpenLoopSource
 from repro.metrics import OpRecorder, VisibilityRecorder
 from repro.sim.clock import ClockFactory
 from repro.sim.cpu import CostModel
@@ -109,6 +111,14 @@ class ClusterConfig:
     #: tracer schedules no events, so the simulated execution is identical
     #: with it on or off
     obs: bool = False
+    #: arrival model (repro.workloads.arrivals); None or ClosedLoop keeps
+    #: the historical closed-loop client population, an open-loop model
+    #: replaces it with per-datacenter OpenLoopSources (clients_per_dc is
+    #: then ignored — the pool grows on demand)
+    arrivals: Optional[object] = None
+    #: opt-in overload machinery (repro.datacenter.overload); None keeps
+    #: every queue unbounded and admission disabled
+    overload: Optional[OverloadConfig] = None
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEMS:
@@ -180,12 +190,20 @@ class Cluster:
         self.service: Optional[SaturnService] = None
         self.datacenters: Dict[str, object] = {}
         self.clients: List[ClientProcess] = []
+        self.sources: List[OpenLoopSource] = []
         self.execution_log = None
         self.manager = None
         self.failover = None
         self._build_datacenters()
-        self._build_clients()
+        if self.open_loop:
+            self._build_sources()
+        else:
+            self._build_clients()
         self._build_failover()
+
+    @property
+    def open_loop(self) -> bool:
+        return getattr(self.config.arrivals, "open_loop", False)
 
     # ------------------------------------------------------------------
 
@@ -194,13 +212,17 @@ class Cluster:
         if config.system == "saturn":
             topology = config.saturn_topology or TreeTopology.star(
                 self.sites[0], {site: site for site in self.sites})
+            service_rate = (config.overload.serializer_service_rate
+                            if config.overload is not None else 0.0)
             self.service = SaturnService(self.sim, self.network,
                                          self.replication,
                                          chain_length=config.chain_length,
-                                         beacon_period=config.beacon_period)
+                                         beacon_period=config.beacon_period,
+                                         serializer_service_rate=service_rate)
             if self.obs_hub is not None:
                 # before install_tree, so the serializers inherit the tracer
                 self.service.obs = self.obs_hub.tracer
+                self.service.queue_obs = self.obs_hub.registry
             self.service.install_tree(topology, epoch=0)
         for site in self.sites:
             self.datacenters[site] = self._make_datacenter(site)
@@ -222,7 +244,11 @@ class Cluster:
                 beacon_timeout=config.beacon_timeout,
                 stabilization_wait=config.stabilization_wait,
                 probe_period=config.probe_period,
-                transition_timeout=config.transition_timeout)
+                transition_timeout=config.transition_timeout,
+                sink_buffer_cap=(config.overload.sink_buffer_cap
+                                 if config.overload is not None else 0),
+                sink_credits=(config.overload.sink_credits
+                              if config.overload is not None else 0))
             dc = SaturnDatacenter(self.sim, params, self.replication,
                                   config.cost_model, clock,
                                   metrics=self.metrics,
@@ -234,6 +260,9 @@ class Cluster:
                 dc.proxy.obs = tracer
                 if dc.failover is not None:
                     dc.failover.obs = tracer
+                dc.sink.queue_obs = self.obs_hub.registry
+                if dc.admission is not None:
+                    dc.admission.obs = self.obs_hub.registry
         elif config.system == "gentlerain":
             dc = GentleRainDatacenter(self.sim, site, site, self.replication,
                                       config.cost_model, clock,
@@ -297,6 +326,33 @@ class Cluster:
                 self.network.place(client.name, site)
                 self.clients.append(client)
 
+    def _build_sources(self) -> None:
+        """One open-loop arrival source per site (clients spawn on demand)."""
+        merge = self.merge_function()
+
+        def make_spawn(site: str, source_box: list):
+            def spawn(client_id: str) -> OpenLoopClient:
+                generator = self.workload.client_generator(
+                    site, self.replication, self.rng, self.latency,
+                    stream_name=f"client-{client_id}")
+                client = OpenLoopClient(
+                    self.sim, client_id, site, generator, merge=merge,
+                    metrics=self.metrics, execution_log=self.execution_log,
+                    source=source_box[0])
+                client.attach_network(self.network)
+                self.network.place(client.name, site)
+                self.clients.append(client)
+                return client
+            return spawn
+
+        for site in self.sites:
+            box: list = [None]
+            source = OpenLoopSource(self.sim, site, self.config.arrivals,
+                                    spawn=make_spawn(site, box),
+                                    stream=self.rng.stream(f"openloop-{site}"))
+            box[0] = source
+            self.sources.append(source)
+
     def _build_failover(self) -> None:
         if not self.config.auto_failover or self.service is None:
             return
@@ -324,6 +380,8 @@ class Cluster:
     def start(self) -> None:
         for dc in self.datacenters.values():
             dc.start()
+        for source in self.sources:
+            source.start()
         for index, client in enumerate(self.clients):
             # stagger starts slightly to avoid lock-step artifacts
             self.sim.schedule(0.01 * index, client.start)
@@ -335,6 +393,8 @@ class Cluster:
         self.metrics.visibility.warmup_until = warmup
         self.start()
         self.sim.run(until=duration)
+        for source in self.sources:
+            source.stop()
         for client in self.clients:
             client.stop()
         if self.obs_hub is not None:

@@ -39,10 +39,10 @@ from repro.baselines.okapi import OkapiStabMsg
 from repro.core.label import Label, LabelType
 from repro.datacenter.messages import (AttachOk, BulkHeartbeat, ClientAttach,
                                        ClientMigrate, ClientRead,
-                                       ClientUpdate, LabelBatch, MigrateReply,
-                                       Ping, Pong, ReadReply, RemotePayload,
-                                       SerializerBeacon, StabilizationMsg,
-                                       UpdateReply)
+                                       ClientUpdate, LabelBatch, LabelCredit,
+                                       MigrateReply, Ping, Pong, ReadReply,
+                                       RemotePayload, SerializerBeacon,
+                                       StabilizationMsg, UpdateReply)
 
 __all__ = [
     "CodecError", "register", "registered_messages",
@@ -214,6 +214,7 @@ register(RemotePayload)
 register(BulkHeartbeat)
 # datacenter <-> Saturn:
 register(LabelBatch)
+register(LabelCredit)
 register(SerializerBeacon)
 register(Ping)
 register(Pong)

@@ -24,10 +24,10 @@ from typing import List, Optional
 from repro.perf.baseline import (DEFAULT_TOLERANCE, build_result, compare,
                                  load_result, save_result)
 from repro.perf.benches import (bench_figure, bench_kernel, bench_obs,
-                                bench_tree)
+                                bench_saturation, bench_tree)
 from repro.perf.measure import calibrate
 
-BENCHES = ("kernel", "tree", "obs", "figure")
+BENCHES = ("kernel", "tree", "obs", "figure", "saturation")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -82,6 +82,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             batches_per_dc=args.tree_batches, repeats=repeats(3))
     if "figure" not in args.skip:
         metrics["figure_smoke_seconds"] = bench_figure(repeats=repeats(2))
+    if "saturation" not in args.skip:
+        # deterministic simulated quantity: repeats would be identical
+        metrics["overload_saturation_ops_s"] = bench_saturation()
 
     result = build_result(metrics, calibration)
 

@@ -49,17 +49,28 @@ def normalize(raw: float, higher_is_better: bool, calibration: float) -> float:
 
 
 def build_result(metrics: Dict[str, Dict], calibration: float) -> Dict:
-    """Assemble the result document from raw bench dicts."""
+    """Assemble the result document from raw bench dicts.
+
+    A bench may set ``"calibration_free": True`` when its raw number is a
+    *simulated* quantity (deterministic given the seed, identical on any
+    machine): its normalized value is then the raw value itself, so the
+    committed baseline never drifts with host speed and the regression
+    tolerance compares like with like.
+    """
     out_metrics = {}
     for name, bench in metrics.items():
+        calibration_free = bool(bench.get("calibration_free", False))
         out_metrics[name] = {
             "raw": bench["raw"],
-            "normalized": normalize(bench["raw"], bench["higher_is_better"],
-                                    calibration),
+            "normalized": (bench["raw"] if calibration_free else
+                           normalize(bench["raw"], bench["higher_is_better"],
+                                     calibration)),
             "unit": bench["unit"],
             "higher_is_better": bench["higher_is_better"],
             "meta": bench.get("meta", {}),
         }
+        if calibration_free:
+            out_metrics[name]["calibration_free"] = True
     return {
         "schema": SCHEMA_VERSION,
         "machine": {

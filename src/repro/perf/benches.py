@@ -14,6 +14,12 @@
 * :func:`bench_figure` — wall-clock seconds for one smoke-scale figure run
   (the full stack: datacenters, gears, clients, metrics), i.e. what a
   contributor actually waits for.
+* :func:`bench_saturation` — max sustainable open-loop offered load
+  (ops/s per datacenter at the p99-visibility SLO) on a smoke overload
+  sweep.  Unlike the others this is a *simulated* quantity — exactly
+  reproducible on any machine — so it is ``calibration_free`` and its
+  regression gate catches capacity losses (a slower label path, a
+  mis-tuned queue bound) rather than host slowness.
 
 Each returns a plain dict ready for :mod:`repro.perf.baseline`.
 """
@@ -36,7 +42,7 @@ from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
 
 __all__ = ["bench_kernel", "bench_tree", "bench_obs", "bench_figure",
-           "TREE_SITES"]
+           "bench_saturation", "TREE_SITES"]
 
 #: the paper's seven EC2 regions — one datacenter per region
 TREE_SITES: Tuple[str, ...] = tuple(EC2_REGIONS)
@@ -242,4 +248,46 @@ def bench_figure(repeats: int = 3, scale=None) -> Dict:
         "higher_is_better": False,
         "meta": {"sim_throughput_ops_s": throughput,
                  "duration_ms": scale.duration, "repeats": repeats},
+    }
+
+
+# ---------------------------------------------------------------------------
+# open-loop saturation point (simulated, calibration-free)
+# ---------------------------------------------------------------------------
+
+def bench_saturation(rates: Tuple[float, ...] = (2000.0, 4000.0, 6000.0,
+                                                 8000.0, 10000.0),
+                     num_users: int = 2000) -> Dict:
+    """Max sustainable offered load (ops/s per DC) at the p99 SLO.
+
+    Runs the smoke overload sweep (3-DC serializer chain, streaming
+    social workload, Poisson open-loop arrivals, Saturn with the bounded
+    backpressure chain) and reports the largest swept rate that stays
+    within the p99-visibility SLO with >= 95% goodput.  The result is a
+    deterministic function of the codebase — no repeats, no calibration;
+    a drop to the next sweep point means the throughput cliff moved.
+    """
+    from repro.harness.experiments import OVERLOAD_SYSTEMS, Scale, overload
+
+    assert "saturn" in OVERLOAD_SYSTEMS
+    scale = Scale(duration=400.0, warmup=100.0, num_partitions=2, seed=11)
+    result = overload(scale, systems=("saturn",), rates=rates,
+                      num_users=num_users)
+    best = result["max_sustainable_ops_s"]["saturn"] or 0.0
+    return {
+        "raw": best,
+        "unit": "ops/s/dc",
+        "higher_is_better": True,
+        "calibration_free": True,
+        "meta": {"rates": list(rates), "num_users": num_users,
+                 "p99_slo_ms": result["p99_slo_ms"],
+                 "goodput_floor": result["goodput_floor"],
+                 "per_rate": [
+                     {"rate": row["offered_ops_s_per_dc"],
+                      "goodput": round(row["goodput"], 4),
+                      "visibility_p99_ms": (
+                          None if row["visibility_p99_ms"] is None
+                          else round(row["visibility_p99_ms"], 3)),
+                      "sustainable": row["sustainable"]}
+                     for row in result["rows"]]},
     }

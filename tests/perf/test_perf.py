@@ -77,6 +77,40 @@ def test_build_result_normalizes_with_calibration():
     assert entry["normalized"] == pytest.approx(5.0)
 
 
+def test_build_result_calibration_free_skips_normalization():
+    """A simulated metric's normalized value IS its raw value: identical
+    on any machine, so the committed baseline never drifts with host
+    speed (the saturation bench relies on this)."""
+    metrics = {
+        "overload_saturation_ops_s": {
+            "raw": 6000.0, "unit": "ops/s/dc", "higher_is_better": True,
+            "calibration_free": True},
+        "kernel_events_per_sec": {
+            "raw": 500.0, "unit": "events/s", "higher_is_better": True},
+    }
+    document = build_result(metrics, calibration=100.0)
+    saturation = document["metrics"]["overload_saturation_ops_s"]
+    assert saturation["normalized"] == 6000.0
+    assert saturation["calibration_free"] is True
+    # ordinary metrics still normalize, and don't grow the flag
+    kernel = document["metrics"]["kernel_events_per_sec"]
+    assert kernel["normalized"] == pytest.approx(5.0)
+    assert "calibration_free" not in kernel
+
+
+def test_calibration_free_metrics_compare_raw_to_raw():
+    """The 15% gate on a calibration-free metric fires on raw movement —
+    e.g. the saturation cliff dropping a full sweep step."""
+    def doc(raw):
+        return build_result({"overload_saturation_ops_s": {
+            "raw": raw, "unit": "ops/s/dc", "higher_is_better": True,
+            "calibration_free": True}}, calibration=123.456)
+
+    assert compare(doc(6000.0), doc(6000.0)).ok
+    assert compare(doc(5500.0), doc(6000.0)).ok        # within 15%
+    assert not compare(doc(4000.0), doc(6000.0)).ok    # cliff moved
+
+
 def test_save_and_load_round_trip(tmp_path):
     path = str(tmp_path / "BENCH_perf.json")
     save_result(_result(), path)
@@ -138,8 +172,10 @@ def test_metric_missing_from_baseline_is_reported_not_failed():
 # -- CLI ---------------------------------------------------------------------
 
 def _quick_args(output):
+    # figure and saturation are full cluster runs — far too heavy for
+    # the quick CLI round-trips (saturation alone is a 5-rate sweep)
     return ["--repeat", "1", "--kernel-events", "4000", "--tree-batches", "2",
-            "--skip", "figure", "--output", output]
+            "--skip", "figure", "--skip", "saturation", "--output", output]
 
 
 def test_cli_writes_result_file(tmp_path, capsys):
